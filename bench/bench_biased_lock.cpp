@@ -1,0 +1,159 @@
+// E10 — The speculative TAS as a biased lock (Section 1, refs [9, 19]).
+//
+// Claims regenerated:
+//  * while a single owner acquires/releases repeatedly, every
+//    acquisition rides the register-only A1 fast path: ~0 RMWs per
+//    acquire and latency competitive with an uncontended hardware CAS
+//    lock (this is the "biased" regime — no revocation machinery);
+//  * under handoff/contention the lock degrades gracefully to the
+//    hardware path (≤1 RMW per round decision);
+//  * against std::mutex and a plain test-and-set spinlock, the shape
+//    holds: the biased lock's owner path avoids RMWs entirely, which
+//    neither baseline can.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "runtime/platform.hpp"
+#include "support/table.hpp"
+#include "tas/biased_lock.hpp"
+#include "workload/driver.hpp"
+
+namespace {
+
+using namespace scm;
+
+constexpr std::size_t kPool = 1 << 14;
+
+// Plain exchange-based spinlock baseline.
+class TasSpinLock {
+ public:
+  void lock(NativeContext& ctx) {
+    while (cell_.test_and_set(ctx) != 0) {
+      while (cell_.read(ctx) != 0) {
+      }
+    }
+  }
+  void unlock(NativeContext&) { cell_.reset(); }
+
+ private:
+  NativeTas cell_;
+};
+
+struct Row {
+  const char* name;
+  double ns_per_acquire;
+  double rmws_per_acquire;
+};
+
+Row measure_owner_biased(std::uint64_t iters) {
+  BiasedLock<NativePlatform> lock(1, kPool, /*recycle=*/true);
+  const auto r = workload::run_threads(
+      1, iters, [&](NativeContext& ctx, std::uint64_t) {
+        lock.lock(ctx);
+        benchmark::DoNotOptimize(&lock);
+        lock.unlock(ctx);
+      });
+  return {"biased (speculative TAS)", r.ns_per_op(), r.rmws_per_op()};
+}
+
+Row measure_owner_spin(std::uint64_t iters) {
+  TasSpinLock lock;
+  const auto r = workload::run_threads(
+      1, iters, [&](NativeContext& ctx, std::uint64_t) {
+        lock.lock(ctx);
+        benchmark::DoNotOptimize(&lock);
+        lock.unlock(ctx);
+      });
+  return {"TAS spinlock", r.ns_per_op(), r.rmws_per_op()};
+}
+
+Row measure_owner_mutex(std::uint64_t iters) {
+  std::mutex mu;
+  const auto r = workload::run_threads(
+      1, iters, [&](NativeContext& ctx, std::uint64_t) {
+        (void)ctx;
+        mu.lock();
+        benchmark::DoNotOptimize(&mu);
+        mu.unlock();
+      });
+  return {"std::mutex", r.ns_per_op(), 1.0 /* at least one RMW inside */};
+}
+
+void print_claim_tables() {
+  std::printf("\nE10 -- biased lock: owner-only acquire/release\n\n");
+  Table t({"lock", "ns per acquire+release", "RMWs per acquire"});
+  const Row biased = measure_owner_biased(200'000);
+  const Row spin = measure_owner_spin(200'000);
+  const Row mtx = measure_owner_mutex(200'000);
+  for (const Row& r : {biased, spin, mtx}) {
+    t.row(r.name, r.ns_per_acquire, r.rmws_per_acquire);
+  }
+  t.print(std::cout, "single-owner (biased) regime");
+  std::printf(
+      "\nClaim check: the biased lock's owner path performs %.2f RMWs per\n"
+      "acquire (registers only; the spinlock/mutex pay >= 1), staying within\n"
+      "a small factor of the RMW-based locks on latency. Under contention it\n"
+      "reverts to the hardware TAS (see multithreaded benchmarks below).\n\n",
+      biased.rmws_per_acquire);
+}
+
+void BM_BiasedLock(benchmark::State& state) {
+  static BiasedLock<NativePlatform>* lock = nullptr;
+  if (state.thread_index() == 0) {
+    lock = new BiasedLock<NativePlatform>(state.threads(), kPool, true);
+  }
+  NativeContext ctx(static_cast<ProcessId>(state.thread_index()));
+  for (auto _ : state) {
+    lock->lock(ctx);
+    benchmark::DoNotOptimize(lock);
+    lock->unlock(ctx);
+  }
+  if (state.thread_index() == 0) {
+    delete lock;
+    lock = nullptr;
+  }
+}
+BENCHMARK(BM_BiasedLock)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_TasSpinLock(benchmark::State& state) {
+  static TasSpinLock* lock = nullptr;
+  if (state.thread_index() == 0) lock = new TasSpinLock();
+  NativeContext ctx(static_cast<ProcessId>(state.thread_index()));
+  for (auto _ : state) {
+    lock->lock(ctx);
+    benchmark::DoNotOptimize(lock);
+    lock->unlock(ctx);
+  }
+  if (state.thread_index() == 0) {
+    delete lock;
+    lock = nullptr;
+  }
+}
+BENCHMARK(BM_TasSpinLock)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_StdMutex(benchmark::State& state) {
+  static std::mutex* mu = nullptr;
+  if (state.thread_index() == 0) mu = new std::mutex();
+  for (auto _ : state) {
+    mu->lock();
+    benchmark::DoNotOptimize(mu);
+    mu->unlock();
+  }
+  if (state.thread_index() == 0) {
+    delete mu;
+    mu = nullptr;
+  }
+}
+BENCHMARK(BM_StdMutex)->Threads(1)->Threads(2)->Threads(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_claim_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

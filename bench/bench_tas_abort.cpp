@@ -1,0 +1,78 @@
+// E2 — Abort behaviour of the obstruction-free module A1 (Lemma 6).
+//
+// Claims regenerated:
+//  * A1 NEVER aborts in the absence of step contention (the progress
+//    predicate of the speculative module) — the violation counter must
+//    read zero across the whole sweep;
+//  * abort rate tracks the step-contention rate as the scheduler moves
+//    from sequential (stickiness 1.0) to maximally interleaved
+//    (stickiness 0.0).
+#include <cstdio>
+#include <memory>
+
+#include "support/table.hpp"
+#include "sim/schedules.hpp"
+#include "sim/sim_platform.hpp"
+#include "sim/simulator.hpp"
+#include "tas/a1_module.hpp"
+#include "workload/sim_metrics.hpp"
+
+namespace {
+
+using namespace scm;
+using sim::SimContext;
+using sim::SimPlatform;
+using sim::Simulator;
+
+Request tas_req(std::uint64_t id, ProcessId p) {
+  return Request{id, p, TasSpec::kTestAndSet, 0};
+}
+
+workload::SimMetrics sweep_stickiness(int n, double stickiness,
+                                      int sweeps) {
+  workload::SimMetrics total;
+  for (int i = 0; i < sweeps; ++i) {
+    auto a1 = std::make_shared<ObstructionFreeTas<SimPlatform>>();
+    sim::StickyRandomSchedule sched(static_cast<std::uint64_t>(i) * 131 + 7,
+                                    stickiness);
+    total += workload::run_sim(
+        n,
+        [&](Simulator& s) {
+          for (int p = 0; p < n; ++p) {
+            s.add_process([a1, p](SimContext& ctx) {
+              ctx.begin_op();
+              const ModuleResult r = a1->invoke(
+                  ctx, tas_req(static_cast<std::uint64_t>(p) + 1, p));
+              ctx.end_op(r.committed() ? 1 : 0);
+            });
+          }
+        },
+        sched);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\nE2 -- A1 abort behaviour vs step contention (Lemma 6)\n");
+  std::printf("400 random schedules per row, 4 processes, one op each\n\n");
+
+  std::uint64_t violations = 0;
+  Table t({"stickiness", "ops", "step-contended %", "abort %",
+           "aborts in contention-free runs"});
+  for (double stickiness : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const auto m = sweep_stickiness(4, stickiness, 400);
+    t.row(stickiness, m.ops, 100.0 * m.contention_rate(),
+          100.0 * m.abort_rate(), m.aborts_without_step_contention);
+    violations += m.aborts_without_step_contention;
+  }
+  t.print(std::cout, "A1 abort rate vs schedule interleaving");
+
+  std::printf("\nClaim check (Lemma 6): aborts without step contention = %llu "
+              "(must be 0).\n",
+              static_cast<unsigned long long>(violations));
+  std::printf("Abort rate falls to 0 as the schedule approaches sequential "
+              "execution,\nand rises with the step-contention rate.\n\n");
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,149 @@
+// E6 — The composable universal construction under phased contention
+// (Proposition 1): every sequential type has an Abstract implementation
+// that uses only registers when uncontended and reverts to CAS
+// otherwise.
+//
+// Workload: a shared fetch&increment counter behind the three-stage
+// chain (contention-free SplitConsensus -> obstruction-free
+// AbortableBakery -> wait-free CasConsensus). Phases alternate between
+// sequential (no contention) and randomly interleaved (contention).
+// We report, per phase style, which stage served the commits and how
+// many RMW steps were spent.
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "support/table.hpp"
+#include "consensus/abortable_bakery.hpp"
+#include "consensus/cas_consensus.hpp"
+#include "consensus/split_consensus.hpp"
+#include "history/specs.hpp"
+#include "sim/schedules.hpp"
+#include "sim/sim_platform.hpp"
+#include "sim/simulator.hpp"
+#include "universal/composable_universal.hpp"
+#include "universal/universal_chain.hpp"
+
+namespace {
+
+using namespace scm;
+using sim::SimContext;
+using sim::SimPlatform;
+using sim::Simulator;
+
+using SplitStage =
+    ComposableUniversal<SimPlatform, CounterSpec, SplitConsensus<SimPlatform>, 48>;
+using BakeryStage =
+    ComposableUniversal<SimPlatform, CounterSpec, AbortableBakery<SimPlatform>, 48>;
+using CasStage =
+    ComposableUniversal<SimPlatform, CounterSpec, CasConsensus<SimPlatform>, 48>;
+
+std::unique_ptr<UniversalChain<SimPlatform, CounterSpec>> make_chain(int n) {
+  std::vector<std::unique_ptr<AbstractStage<SimPlatform>>> stages;
+  stages.push_back(std::make_unique<SplitStage>(n, 48, "split (registers)"));
+  stages.push_back(std::make_unique<BakeryStage>(n, 48, "bakery (registers)"));
+  stages.push_back(std::make_unique<CasStage>(n, 48, "cas (hardware)"));
+  return std::make_unique<UniversalChain<SimPlatform, CounterSpec>>(
+      n, std::move(stages));
+}
+
+struct PhaseResult {
+  std::uint64_t commits_by_stage[3] = {0, 0, 0};
+  std::uint64_t total_rmws = 0;
+  std::uint64_t ops = 0;
+  bool correct = true;  // fetch&inc responses unique and gap-free
+};
+
+PhaseResult run_phase(int n, int ops_per_proc, bool contended,
+                      std::uint64_t seed) {
+  auto chain = make_chain(n);
+  Simulator s;
+  std::vector<std::vector<Response>> responses(n);
+  for (int p = 0; p < n; ++p) {
+    s.add_process([&, p](SimContext& ctx) {
+      for (int i = 0; i < ops_per_proc; ++i) {
+        const auto id = static_cast<std::uint64_t>(p) * 1000 +
+                        static_cast<std::uint64_t>(i) + 1;
+        responses[p].push_back(
+            chain
+                ->perform(ctx, Request{id, p, CounterSpec::kFetchInc, 0})
+                .response);
+      }
+    });
+  }
+  if (contended) {
+    sim::RandomSchedule sched(seed);
+    s.run(sched);
+  } else {
+    sim::SequentialSchedule sched;
+    s.run(sched);
+  }
+
+  PhaseResult out;
+  for (int p = 0; p < n; ++p) {
+    out.total_rmws += s.counters(static_cast<ProcessId>(p)).rmws;
+    for (std::size_t st = 0; st < 3; ++st) {
+      out.commits_by_stage[st] += chain->commits_by(p, st);
+    }
+  }
+  std::set<Response> all;
+  for (const auto& rs : responses) {
+    for (Response r : rs) all.insert(r);
+  }
+  out.ops = static_cast<std::uint64_t>(n) *
+            static_cast<std::uint64_t>(ops_per_proc);
+  out.correct = all.size() == out.ops && !all.empty() &&
+                *all.begin() == 0 &&
+                *all.rbegin() == static_cast<Response>(out.ops - 1);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\nE6 -- composable universal construction (fetch&inc counter)\n");
+  std::printf("three-stage chain: SplitConsensus -> AbortableBakery -> CAS\n\n");
+
+  Table t({"phase", "n", "ops", "stage0 commits (reg)", "stage1 commits (reg)",
+           "stage2 commits (CAS)", "RMWs total", "linearizable"});
+  bool all_correct = true;
+  std::uint64_t uncontended_stage12 = 0;
+  std::uint64_t contended_stage12 = 0;
+  for (int n : {2, 4}) {
+    const auto solo = run_phase(n, 4, /*contended=*/false, 0);
+    t.row("sequential", n, solo.ops, solo.commits_by_stage[0],
+          solo.commits_by_stage[1], solo.commits_by_stage[2], solo.total_rmws,
+          solo.correct ? "yes" : "NO");
+    all_correct = all_correct && solo.correct;
+    uncontended_stage12 += solo.commits_by_stage[1] + solo.commits_by_stage[2];
+
+    PhaseResult contended{};
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const auto r = run_phase(n, 4, /*contended=*/true, seed * 101);
+      for (int st = 0; st < 3; ++st) {
+        contended.commits_by_stage[st] += r.commits_by_stage[st];
+      }
+      contended.total_rmws += r.total_rmws;
+      contended.ops += r.ops;
+      contended.correct = contended.correct && r.correct;
+    }
+    t.row("contended", n, contended.ops, contended.commits_by_stage[0],
+          contended.commits_by_stage[1], contended.commits_by_stage[2],
+          contended.total_rmws, contended.correct ? "yes" : "NO");
+    all_correct = all_correct && contended.correct;
+    contended_stage12 +=
+        contended.commits_by_stage[1] + contended.commits_by_stage[2];
+  }
+  t.print(std::cout, "commits per stage under phased contention");
+
+  std::printf(
+      "\nClaim check (Prop 1): sequential phases commit entirely in the\n"
+      "register-only stage 0 (later-stage commits: %llu, must be 0);\n"
+      "contention pushes commits to later stages (%llu observed > 0);\n"
+      "fetch&inc stays linearizable throughout -> %s.\n\n",
+      static_cast<unsigned long long>(uncontended_stage12),
+      static_cast<unsigned long long>(contended_stage12),
+      all_correct ? "HOLDS" : "VIOLATED");
+  return (all_correct && uncontended_stage12 == 0) ? 0 : 1;
+}

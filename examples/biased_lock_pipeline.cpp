@@ -1,0 +1,76 @@
+// A biased lock guarding a single-producer pipeline with occasional
+// stealing — the workload biased locks exist for [9, 19].
+//
+// One owner thread acquires/releases the lock at high frequency to push
+// items through a pipeline stage; rarely, a maintenance thread barges
+// in to steal the lock and run a compaction. While the owner runs
+// alone, every acquisition is a register-only A1 pass (zero RMWs: the
+// "biased" regime with no revocation machinery); each barge-in flips
+// the round through the hardware path, after which the bias
+// re-establishes itself automatically via reset.
+//
+//   $ ./examples/biased_lock_pipeline [items] [steals]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "runtime/platform.hpp"
+#include "tas/biased_lock.hpp"
+
+using namespace scm;
+
+int main(int argc, char** argv) {
+  const int items = argc > 1 ? std::atoi(argv[1]) : 200'000;
+  const int steals = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  BiasedLock<NativePlatform> lock(/*num_processes=*/2, 1 << 14,
+                                  /*recycle=*/true);
+  std::atomic<long> pipeline_sum{0};
+  std::atomic<bool> done{false};
+  std::atomic<int> compactions{0};
+
+  std::thread owner([&] {
+    NativeContext ctx(0);
+    long local = 0;
+    for (int i = 0; i < items; ++i) {
+      lock.lock(ctx);
+      local += i;  // pipeline stage work
+      lock.unlock(ctx);
+    }
+    pipeline_sum.fetch_add(local, std::memory_order_acq_rel);
+    done.store(true, std::memory_order_release);
+    std::printf("owner   : %d items, %llu RMWs total (%.4f per acquire)\n",
+                items, static_cast<unsigned long long>(ctx.counters().rmws),
+                static_cast<double>(ctx.counters().rmws) / items);
+  });
+
+  std::thread thief([&] {
+    NativeContext ctx(1);
+    int performed = 0;
+    while (!done.load(std::memory_order_acquire) && performed < steals) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      lock.lock(ctx);
+      ++performed;  // compaction work
+      lock.unlock(ctx);
+    }
+    compactions.store(performed, std::memory_order_release);
+    std::printf("thief   : %d barge-ins, %llu RMWs total\n", performed,
+                static_cast<unsigned long long>(ctx.counters().rmws));
+  });
+
+  owner.join();
+  thief.join();
+
+  const long expected =
+      static_cast<long>(items) * (static_cast<long>(items) - 1) / 2;
+  const bool ok = pipeline_sum.load() == expected;
+  std::printf("pipeline: sum %ld (%s), %d compactions interleaved safely\n",
+              pipeline_sum.load(), ok ? "correct" : "WRONG", compactions.load());
+  std::printf(
+      "\nthe owner's RMWs/acquire stays near zero: contention appears only\n"
+      "around the %d barge-ins; each one costs one hardware round before the\n"
+      "bias re-establishes itself (Figure 1's back edge).\n",
+      steals);
+  return ok ? 0 : 1;
+}

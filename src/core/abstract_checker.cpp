@@ -1,0 +1,138 @@
+#include "core/abstract_checker.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace scm {
+namespace {
+
+std::string describe(const TraceEvent& e) {
+  std::ostringstream oss;
+  oss << e;
+  return oss.str();
+}
+
+}  // namespace
+
+CheckResult check_abstract_trace(const Trace& trace,
+                                 const AbstractCheckOptions& options) {
+  const auto& events = trace.events();
+
+  // ---- Termination bookkeeping -------------------------------------------
+  // Each invoked request must receive at most one response; non-crashed
+  // processes' requests must receive exactly one, containing the
+  // request itself ("h contains m").
+  std::map<std::uint64_t, const TraceEvent*> responses;
+  std::map<std::uint64_t, const TraceEvent*> invocations;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kInvoke:
+      case EventKind::kInit: {
+        // Re-invocation of a request id is a harness error.
+        if (invocations.count(e.request.id) != 0) {
+          return CheckResult::fail("request invoked twice: " + describe(e));
+        }
+        invocations[e.request.id] = &e;
+        break;
+      }
+      case EventKind::kCommit:
+      case EventKind::kAbort: {
+        if (invocations.count(e.request.id) == 0) {
+          return CheckResult::fail("response to never-invoked request: " +
+                                   describe(e));
+        }
+        if (responses.count(e.request.id) != 0) {
+          return CheckResult::fail("request responded twice: " + describe(e));
+        }
+        responses[e.request.id] = &e;
+        if (!e.history.contains(e.request.id)) {
+          return CheckResult::fail(
+              "Termination: response history omits its own request: " +
+              describe(e));
+        }
+        break;
+      }
+    }
+  }
+  for (const auto& [id, inv] : invocations) {
+    if (responses.count(id) == 0 && options.crashed.count(inv->pid) == 0) {
+      return CheckResult::fail(
+          "Termination: non-crashed request never responded: " +
+          describe(*inv));
+    }
+  }
+
+  // ---- Commit Order -------------------------------------------------------
+  // Any two commit histories are prefix-comparable.
+  const auto commits = trace.of_kind(EventKind::kCommit);
+  for (std::size_t i = 0; i < commits.size(); ++i) {
+    for (std::size_t j = i + 1; j < commits.size(); ++j) {
+      const History& a = commits[i].history;
+      const History& b = commits[j].history;
+      if (!a.prefix_of(b) && !b.prefix_of(a)) {
+        return CheckResult::fail("Commit Order violated between " +
+                                 describe(commits[i]) + " and " +
+                                 describe(commits[j]));
+      }
+    }
+  }
+
+  // ---- Abort Ordering -----------------------------------------------------
+  // Every commit history is a prefix of every abort history.
+  const auto aborts = trace.of_kind(EventKind::kAbort);
+  for (const TraceEvent& c : commits) {
+    for (const TraceEvent& a : aborts) {
+      if (!c.history.prefix_of(a.history)) {
+        return CheckResult::fail("Abort Ordering violated: commit " +
+                                 describe(c) + " not a prefix of abort " +
+                                 describe(a));
+      }
+    }
+  }
+
+  // ---- Validity -----------------------------------------------------------
+  for (const TraceEvent& e : events) {
+    if (e.kind != EventKind::kCommit && e.kind != EventKind::kAbort) continue;
+    if (e.history.has_duplicates()) {
+      return CheckResult::fail("Validity: duplicate request in history of " +
+                               describe(e));
+    }
+    for (const Request& r : e.history) {
+      const std::uint64_t invoked = trace.invoked_at(r.id);
+      if (invoked == ~std::uint64_t{0}) {
+        return CheckResult::fail("Validity: phantom request #" +
+                                 std::to_string(r.id) + " in history of " +
+                                 describe(e));
+      }
+      const bool must_precede =
+          e.kind == EventKind::kCommit || options.strict_abort_validity;
+      if (must_precede && invoked > e.seq) {
+        return CheckResult::fail("Validity: request #" + std::to_string(r.id) +
+                                 " invoked after response " + describe(e));
+      }
+    }
+  }
+
+  // ---- Init Ordering ------------------------------------------------------
+  // Any common prefix of init histories is a prefix of any commit or
+  // abort history.
+  const auto inits = trace.of_kind(EventKind::kInit);
+  if (!inits.empty()) {
+    History common = inits.front().history;
+    for (const TraceEvent& e : inits) {
+      common = History::common_prefix(common, e.history);
+    }
+    for (const TraceEvent& e : events) {
+      if (e.kind != EventKind::kCommit && e.kind != EventKind::kAbort) continue;
+      if (!common.prefix_of(e.history)) {
+        return CheckResult::fail(
+            "Init Ordering violated: common init prefix not a prefix of " +
+            describe(e));
+      }
+    }
+  }
+
+  return CheckResult::pass();
+}
+
+}  // namespace scm

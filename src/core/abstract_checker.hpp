@@ -1,0 +1,47 @@
+// Executable oracle for Definition 1 (Abstract, [20]): checks that an
+// Abstract-level trace — commits/aborts/inits carrying histories —
+// satisfies the Abstract properties. Used by tests on every recorded
+// execution of the composable universal construction, and by the
+// Definition-2 interpretation validator on interpreted traces φτ.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "core/trace.hpp"
+
+namespace scm {
+
+struct CheckResult {
+  bool ok = true;
+  std::string error;
+
+  static CheckResult pass() { return {}; }
+  static CheckResult fail(std::string why) { return {false, std::move(why)}; }
+  explicit operator bool() const noexcept { return ok; }
+};
+
+struct AbstractCheckOptions {
+  // Processes known to have crashed: Termination is not required of
+  // their pending requests.
+  std::set<ProcessId> crashed;
+
+  // Definition 1 Validity demands that every request in a commit/abort
+  // history "was invoked by some process before the current operation
+  // returns". For commit histories we enforce exactly that. For abort
+  // histories, the constructions of Lemma 4 place *all* aborting and
+  // committing requests of the trace into the single shared abort
+  // history, including requests invoked after earlier aborts returned;
+  // we therefore enforce the weaker (and evidently intended) condition
+  // that abort-history members are invoked somewhere in the trace.
+  // Setting strict_abort_validity = true restores the literal reading.
+  bool strict_abort_validity = false;
+};
+
+// Checks properties 2-6 of Definition 1 plus response bookkeeping for
+// Termination (each non-crashed invoked request gets exactly one
+// commit/abort, whose history contains it).
+CheckResult check_abstract_trace(const Trace& trace,
+                                 const AbstractCheckOptions& options = {});
+
+}  // namespace scm

@@ -1,0 +1,70 @@
+#include "core/constraint.hpp"
+
+#include <algorithm>
+
+namespace scm {
+namespace {
+
+void permute_into(std::vector<Request>& chosen, std::vector<bool>& used,
+                  std::span<const Request> pool, std::size_t depth,
+                  std::vector<History>& out) {
+  if (depth == chosen.size()) {
+    History h;
+    for (const Request& r : chosen) h.append(r);
+    out.push_back(std::move(h));
+    return;
+  }
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (used[i]) continue;
+    used[i] = true;
+    chosen[depth] = pool[i];
+    permute_into(chosen, used, pool, depth + 1, out);
+    used[i] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<History> enumerate_histories(std::span<const Request> universe,
+                                         std::size_t max_universe) {
+  SCM_CHECK_MSG(universe.size() <= max_universe,
+                "history enumeration universe too large");
+  std::vector<History> out;
+  for (std::size_t k = 1; k <= universe.size(); ++k) {
+    std::vector<Request> chosen(k);
+    std::vector<bool> used(universe.size(), false);
+    permute_into(chosen, used, universe, 0, out);
+  }
+  return out;
+}
+
+std::vector<History> ConstraintFunction::candidates(
+    std::span<const SwitchToken> tokens,
+    std::span<const Request> universe) const {
+  std::vector<History> out;
+  for (History& h : enumerate_histories(universe)) {
+    if (contains(tokens, h)) out.push_back(std::move(h));
+  }
+  return out;
+}
+
+bool TasConstraint::contains(std::span<const SwitchToken> tokens,
+                             const History& h) const {
+  if (h.empty()) return false;
+  for (const SwitchToken& t : tokens) {
+    if (!h.contains(t.request.id)) return false;
+  }
+  const bool any_w = std::any_of(tokens.begin(), tokens.end(),
+                                 [](const SwitchToken& t) { return t.value == kW; });
+  if (any_w) {
+    return std::any_of(tokens.begin(), tokens.end(), [&](const SwitchToken& t) {
+      return t.value == kW && h.head().id == t.request.id;
+    });
+  }
+  // head(h) must lie outside the token requests.
+  return std::none_of(tokens.begin(), tokens.end(), [&](const SwitchToken& t) {
+    return t.request.id == h.head().id;
+  });
+}
+
+}  // namespace scm

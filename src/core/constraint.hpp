@@ -1,0 +1,58 @@
+// Constraint functions M : 2^T → 2^H (Section 5).
+//
+// A constraint function restricts the allowed interpretations of a set
+// of switch tokens as histories. The checker works over the finite set
+// of duplicate-free request sequences drawn from a trace's invoked
+// requests (the "universe"), which suffices: every history a valid
+// interpretation can assign mentions only invoked requests
+// (Definition 1, Validity).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "history/history.hpp"
+#include "history/request.hpp"
+
+namespace scm {
+
+// All duplicate-free non-empty sequences over subsets of `universe`.
+// Exponential by nature; callers keep universes small (bounded model
+// checking). Hard-capped to prevent accidental blowups.
+std::vector<History> enumerate_histories(std::span<const Request> universe,
+                                         std::size_t max_universe = 7);
+
+class ConstraintFunction {
+ public:
+  virtual ~ConstraintFunction() = default;
+
+  // Membership test: h ∈ M(tokens)?
+  [[nodiscard]] virtual bool contains(std::span<const SwitchToken> tokens,
+                                      const History& h) const = 0;
+
+  // M(tokens) restricted to histories over `universe`.
+  [[nodiscard]] virtual std::vector<History> candidates(
+      std::span<const SwitchToken> tokens,
+      std::span<const Request> universe) const;
+};
+
+// The TAS constraint function of Definition 3, over switch values
+// V = {W, L}:
+//  * if some token carries W, M(S) holds the histories whose head is
+//    one of the W-aborted requests and that contain every token
+//    request — "the object may have been won by one of the processes
+//    that aborted with W";
+//  * otherwise M(S) holds the non-empty histories headed by a request
+//    *outside* S that contain every token request — "somebody else won".
+class TasConstraint final : public ConstraintFunction {
+ public:
+  // Switch values for the speculative TAS (Definition 3).
+  static constexpr SwitchValue kW = 0;  // object possibly still unwon
+  static constexpr SwitchValue kL = 1;  // caller has lost for sure
+
+  [[nodiscard]] bool contains(std::span<const SwitchToken> tokens,
+                              const History& h) const override;
+};
+
+}  // namespace scm

@@ -1,0 +1,201 @@
+// Executable oracle for Definition 2 (safe composability).
+//
+// A trace τ of a light-weight module carries switch values, not
+// histories. The module is safely composable iff, for every equivalence
+// class e of eq(aborts(τ), M), some history h_abort ∈ e admits a valid
+// interpretation φ: an assignment of histories to the trace's init,
+// commit and abort indices such that
+//   (1) all init indices map to one h_init ∈ M(inits(τ)),
+//   (2) all abort indices map to h_abort,
+//   (3) every commit's history evaluates (β) to the committed response,
+//   (4) the interpreted trace φτ satisfies the Abstract properties.
+//
+// This checker performs that existential search exhaustively over the
+// finite history universe of the trace — a bounded-model-checking
+// discharge of Lemma 4, Lemma 5 and Theorem 2 on every execution the
+// tests generate.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "core/abstract_checker.hpp"
+#include "core/constraint.hpp"
+#include "core/trace.hpp"
+#include "history/specs.hpp"
+
+namespace scm {
+
+struct ComposabilityCheckOptions {
+  std::set<ProcessId> crashed;  // forwarded to the Abstract checker
+};
+
+namespace detail {
+
+// Tries to complete an interpretation of `trace` given the abort
+// history (spine) and init history. Commit indices get prefixes of the
+// spine; returns the interpreted trace on success.
+template <class Spec>
+std::optional<Trace> try_interpret(const Trace& trace, const History& spine,
+                                   const std::optional<History>& hinit,
+                                   const ComposabilityCheckOptions& options) {
+  std::vector<TraceEvent> interpreted;
+  interpreted.reserve(trace.size());
+  for (const TraceEvent& e : trace.events()) {
+    TraceEvent out = e;
+    switch (e.kind) {
+      case EventKind::kInvoke:
+        break;
+      case EventKind::kInit:
+        if (!hinit) return std::nullopt;  // init event but no init history
+        out.history = *hinit;
+        break;
+      case EventKind::kAbort:
+        out.history = spine;
+        break;
+      case EventKind::kCommit: {
+        // Find a prefix p of the spine with: the committed request in p,
+        // the response *matching the request inside p* equal to the
+        // committed response, the init history as a prefix, and all
+        // members invoked before this response returns.
+        //
+        // The paper writes condition 3 as "β(φ(i)) = response(i)"; in
+        // its Lemma-4 construction φ(i) always ends at the committed
+        // request, where the two readings coincide. The per-request
+        // reading β(φ(i), m_i) is the one that generalizes: an
+        // initialized module (Lemma 5) must assign the winner a commit
+        // history that *extends* the init history — whose last response
+        // belongs to a later request — or Init Ordering could never
+        // hold.
+        bool found = false;
+        for (std::size_t len = 1; len <= spine.size(); ++len) {
+          const History p = spine.prefix(len);
+          if (!p.contains(e.request.id)) continue;
+          if (beta<Spec>(p, e.request.id) != e.response) continue;
+          // Init Ordering: the (common) init history must be a prefix
+          // of every commit history.
+          if (hinit && !hinit->prefix_of(p)) continue;
+          bool timing_ok = true;
+          for (const Request& r : p) {
+            if (trace.invoked_at(r.id) > e.seq) {
+              timing_ok = false;
+              break;
+            }
+          }
+          if (!timing_ok) continue;
+          out.history = p;
+          found = true;
+          break;
+        }
+        if (!found) return std::nullopt;
+        break;
+      }
+    }
+    interpreted.push_back(std::move(out));
+  }
+
+  Trace phi_tau(std::move(interpreted));
+  AbstractCheckOptions abs_options;
+  abs_options.crashed = options.crashed;
+  abs_options.strict_abort_validity = false;
+  if (!check_abstract_trace(phi_tau, abs_options)) return std::nullopt;
+  return phi_tau;
+}
+
+// Does any interpretation exist for this (habort, M) pair?
+template <class Spec>
+bool exists_valid_interpretation(const Trace& trace, const History& habort,
+                                 const std::vector<History>& init_candidates,
+                                 bool has_init_events,
+                                 const ComposabilityCheckOptions& options) {
+  if (!has_init_events) {
+    return try_interpret<Spec>(trace, habort, std::nullopt, options)
+        .has_value();
+  }
+  for (const History& hinit : init_candidates) {
+    // Init Ordering: the init history must be a prefix of the abort
+    // history (all init indices share hinit, so it is its own common
+    // prefix).
+    if (!habort.empty() && !hinit.prefix_of(habort)) continue;
+    if (try_interpret<Spec>(trace, habort, hinit, options)) return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+// Full Definition-2 check of one trace against a constraint function.
+template <class Spec>
+CheckResult check_safely_composable(
+    const Trace& trace, const ConstraintFunction& M,
+    const ComposabilityCheckOptions& options = {}) {
+  if (trace.empty()) return CheckResult::pass();
+
+  const std::vector<Request> universe = trace.invoked_requests();
+  const auto init_tokens = trace.init_tokens();
+  const auto abort_tokens = trace.abort_tokens();
+  const bool has_init_events = !init_tokens.empty();
+
+  // Trace validity precondition: M(inits(τ)) ≠ ∅. Definition 2 only
+  // quantifies over valid traces, but a trace our own modules produced
+  // that is *invalid* signals a harness bug, so we fail loudly.
+  const std::vector<History> init_candidates =
+      M.candidates(init_tokens, universe);
+  if (has_init_events && init_candidates.empty()) {
+    return CheckResult::fail("trace invalid w.r.t. M: M(inits) is empty");
+  }
+
+  // Partition M(aborts(τ)) into equivalence classes of ≡_{requests(aborts)}.
+  const std::vector<History> abort_candidates =
+      M.candidates(abort_tokens, universe);
+  std::vector<Request> abort_requests;
+  for (const SwitchToken& t : abort_tokens) abort_requests.push_back(t.request);
+
+  if (abort_candidates.empty()) {
+    // eq(aborts(τ), M) = ∅: φ must be valid w.r.t. the empty history ⊥.
+    if (detail::exists_valid_interpretation<Spec>(
+            trace, History{}, init_candidates, has_init_events, options)) {
+      return CheckResult::pass();
+    }
+    return CheckResult::fail(
+        "no valid interpretation with empty abort history");
+  }
+
+  std::vector<std::vector<History>> classes;
+  for (const History& h : abort_candidates) {
+    bool placed = false;
+    for (auto& cls : classes) {
+      if (equivalent_under<Spec>(cls.front(), h, abort_requests)) {
+        cls.push_back(h);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) classes.push_back({h});
+  }
+
+  // Definition 2: *every* equivalence class must contain a history
+  // admitting a valid interpretation.
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    bool satisfied = false;
+    for (const History& habort : classes[c]) {
+      if (detail::exists_valid_interpretation<Spec>(
+              trace, habort, init_candidates, has_init_events, options)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      std::ostringstream oss;
+      oss << "equivalence class " << c << " (representative "
+          << classes[c].front()
+          << ") admits no valid interpretation; trace:";
+      for (const TraceEvent& e : trace.events()) oss << "\n  " << e;
+      return CheckResult::fail(oss.str());
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace scm

@@ -1,0 +1,81 @@
+// Modules and their composition (Section 3 / Section 5).
+//
+// A module is an algorithm that can additionally be *initialized* with
+// a switch value and may *abort* with a switch value instead of
+// committing. Two modules compose by feeding the first module's abort
+// switch values into the second module's initialization — exactly the
+// structure of Figure 1. The Composed combinator is itself a module,
+// mirroring Theorem 2 (composition of safely composable modules is
+// safely composable), so chains of any length nest.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <optional>
+
+#include "history/request.hpp"
+
+namespace scm {
+
+enum class Outcome : std::uint8_t { kCommit, kAbort };
+
+struct ModuleResult {
+  Outcome outcome = Outcome::kCommit;
+  Response response = kNoResponse;  // meaningful iff outcome == kCommit
+  SwitchValue switch_value = 0;     // meaningful iff outcome == kAbort
+
+  static ModuleResult commit(Response r) {
+    return {Outcome::kCommit, r, 0};
+  }
+  static ModuleResult abort_with(SwitchValue v) {
+    return {Outcome::kAbort, kNoResponse, v};
+  }
+
+  [[nodiscard]] bool committed() const noexcept {
+    return outcome == Outcome::kCommit;
+  }
+};
+
+// Structural requirements on a composable module for a given context.
+template <class M, class Ctx>
+concept ComposableModule =
+    requires(M m, Ctx& ctx, const Request& r, std::optional<SwitchValue> v) {
+      { m.invoke(ctx, r, v) } -> std::same_as<ModuleResult>;
+      { M::kConsensusNumber } -> std::convertible_to<int>;
+    };
+
+// Composition of two modules: run A; on abort, run B initialized with
+// A's switch value. The consensus number of the composition is the
+// maximum over the components — the quantity the paper's "negligible
+// cost" results are about.
+template <class A, class B>
+class Composed {
+ public:
+  static constexpr int kConsensusNumber =
+      std::max(A::kConsensusNumber, B::kConsensusNumber);
+
+  Composed(A& a, B& b) noexcept : a_(&a), b_(&b) {}
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& r,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    const ModuleResult first = a_->invoke(ctx, r, init);
+    if (first.committed()) return first;
+    return b_->invoke(ctx, r, first.switch_value);
+  }
+
+  [[nodiscard]] A& first() noexcept { return *a_; }
+  [[nodiscard]] B& second() noexcept { return *b_; }
+
+ private:
+  A* a_;
+  B* b_;
+};
+
+// Deduction helper: compose(a, b, c) == Composed(a, Composed(b, c))...
+template <class A, class B>
+Composed<A, B> compose(A& a, B& b) {
+  return Composed<A, B>(a, b);
+}
+
+}  // namespace scm

@@ -1,0 +1,203 @@
+// Traces (Section 3): the sequence of invoke, init, commit and abort
+// events observed in the system, ordered by real-time occurrence.
+//
+// Traces exist at two levels matching the paper:
+//  * light-weight level (Section 5): commits carry a response value,
+//    aborts/inits carry a switch value — what safely composable modules
+//    actually exchange;
+//  * Abstract level (Section 4): commits/aborts/inits carry full
+//    histories — what the universal construction exchanges and what
+//    Definition 1 is stated over.
+// A TraceEvent has fields for both; checkers read the ones they need.
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "history/history.hpp"
+#include "history/request.hpp"
+
+namespace scm {
+
+enum class EventKind : std::uint8_t { kInvoke, kInit, kCommit, kAbort };
+
+inline const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kInvoke: return "invoke";
+    case EventKind::kInit: return "init";
+    case EventKind::kCommit: return "commit";
+    case EventKind::kAbort: return "abort";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  // global real-time order
+  EventKind kind = EventKind::kInvoke;
+  ProcessId pid = kInvalidProcess;
+  Request request;
+  SwitchValue switch_value = 0;  // init/abort, light-weight level
+  Response response = kNoResponse;  // commit, light-weight level
+  History history;                  // Abstract level (empty otherwise)
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TraceEvent& e) {
+  os << '@' << e.seq << ' ' << to_string(e.kind) << " p" << e.pid << ' '
+     << e.request;
+  if (e.kind == EventKind::kCommit) os << " -> " << e.response;
+  if (e.kind == EventKind::kAbort || e.kind == EventKind::kInit) {
+    os << " v=" << e.switch_value;
+  }
+  if (!e.history.empty()) os << " h=" << e.history;
+  return os;
+}
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TraceEvent> events) : events_(std::move(events)) {}
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  [[nodiscard]] std::vector<TraceEvent> of_kind(EventKind k) const {
+    std::vector<TraceEvent> out;
+    for (const auto& e : events_) {
+      if (e.kind == k) out.push_back(e);
+    }
+    return out;
+  }
+
+  // Switch tokens found in the abort replies of the trace (aborts(τ)).
+  [[nodiscard]] std::vector<SwitchToken> abort_tokens() const {
+    std::vector<SwitchToken> out;
+    for (const auto& e : events_) {
+      if (e.kind == EventKind::kAbort) {
+        out.push_back(SwitchToken{e.request, e.switch_value});
+      }
+    }
+    return out;
+  }
+
+  // Switch tokens found in the init requests of the trace (inits(τ)).
+  [[nodiscard]] std::vector<SwitchToken> init_tokens() const {
+    std::vector<SwitchToken> out;
+    for (const auto& e : events_) {
+      if (e.kind == EventKind::kInit) {
+        out.push_back(SwitchToken{e.request, e.switch_value});
+      }
+    }
+    return out;
+  }
+
+  // Every request that enters the trace: invoke/init events plus the
+  // members of init histories (those were invoked in a previous module,
+  // Definition 1 Validity counts them as invoked).
+  [[nodiscard]] std::vector<Request> invoked_requests() const {
+    std::vector<Request> out;
+    auto add = [&](const Request& r) {
+      for (const Request& seen : out) {
+        if (seen.id == r.id) return;
+      }
+      out.push_back(r);
+    };
+    for (const auto& e : events_) {
+      if (e.kind == EventKind::kInvoke || e.kind == EventKind::kInit) {
+        add(e.request);
+        for (const Request& r : e.history) add(r);
+      }
+    }
+    return out;
+  }
+
+  // Earliest seq at which `id` was invoked; UINT64_MAX if never.
+  //
+  // Requests entering through an *init* event — as the initialized
+  // request itself or as a member of an init history — are inherited
+  // from a previous module of the composition: their real invocations
+  // precede every event of this trace (Theorem 2 composes the modules'
+  // interpretations on exactly that premise). They therefore count as
+  // invoked at seq 0, before everything; only plain invoke events carry
+  // their own timing.
+  [[nodiscard]] std::uint64_t invoked_at(std::uint64_t id) const {
+    for (const auto& e : events_) {
+      if (e.kind == EventKind::kInit &&
+          (e.request.id == id || e.history.contains(id))) {
+        return 0;
+      }
+    }
+    for (const auto& e : events_) {
+      if (e.kind == EventKind::kInvoke && e.request.id == id) return e.seq;
+    }
+    return ~std::uint64_t{0};
+  }
+
+  // Projection of the trace onto the events of one process.
+  [[nodiscard]] Trace project(ProcessId pid) const {
+    std::vector<TraceEvent> out;
+    for (const auto& e : events_) {
+      if (e.pid == pid) out.push_back(e);
+    }
+    return Trace(std::move(out));
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// Thread-safe trace recorder usable from both platforms. On the native
+// platform the internal mutex linearizes event recording, giving a
+// total order consistent with real time (events are recorded inside
+// the operations they describe).
+class TraceRecorder {
+ public:
+  void invoke(ProcessId pid, const Request& r) {
+    push({0, EventKind::kInvoke, pid, r, 0, kNoResponse, {}});
+  }
+  void init(ProcessId pid, const Request& r, SwitchValue v) {
+    push({0, EventKind::kInit, pid, r, v, kNoResponse, {}});
+  }
+  void init(ProcessId pid, const Request& r, History h) {
+    push({0, EventKind::kInit, pid, r, 0, kNoResponse, std::move(h)});
+  }
+  void commit(ProcessId pid, const Request& r, Response resp) {
+    push({0, EventKind::kCommit, pid, r, 0, resp, {}});
+  }
+  void commit(ProcessId pid, const Request& r, Response resp, History h) {
+    push({0, EventKind::kCommit, pid, r, 0, resp, std::move(h)});
+  }
+  void abort(ProcessId pid, const Request& r, SwitchValue v) {
+    push({0, EventKind::kAbort, pid, r, v, kNoResponse, {}});
+  }
+  void abort(ProcessId pid, const Request& r, SwitchValue v, History h) {
+    push({0, EventKind::kAbort, pid, r, v, kNoResponse, std::move(h)});
+  }
+
+  [[nodiscard]] Trace trace() const {
+    std::lock_guard lk(mu_);
+    return Trace(events_);
+  }
+
+  void clear() {
+    std::lock_guard lk(mu_);
+    events_.clear();
+    seq_ = 0;
+  }
+
+ private:
+  void push(TraceEvent e) {
+    std::lock_guard lk(mu_);
+    e.seq = ++seq_;
+    events_.push_back(std::move(e));
+  }
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace scm

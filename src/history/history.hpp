@@ -1,0 +1,134 @@
+// Histories: duplicate-free sequences of requests (Section 3).
+//
+// Histories carry the state transferred between composed modules; the
+// Abstract properties (Definition 1) are all phrased as prefix
+// relations over histories, implemented here.
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "history/request.hpp"
+
+namespace scm {
+
+class History {
+ public:
+  History() = default;
+  History(std::initializer_list<Request> rs) {
+    for (const Request& r : rs) append(r);
+  }
+  explicit History(std::span<const Request> rs) {
+    for (const Request& r : rs) append(r);
+  }
+
+  // Appends a request; duplicate ids are a contract violation.
+  void append(const Request& r) {
+    SCM_CHECK_MSG(!contains(r.id), "duplicate request in history");
+    requests_.push_back(r);
+  }
+
+  // Appends only if not already present; returns whether it appended.
+  bool append_if_absent(const Request& r) {
+    if (contains(r.id)) return false;
+    requests_.push_back(r);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t request_id) const noexcept {
+    return std::any_of(requests_.begin(), requests_.end(),
+                       [&](const Request& r) { return r.id == request_id; });
+  }
+
+  [[nodiscard]] std::optional<std::size_t> index_of(
+      std::uint64_t request_id) const noexcept {
+    for (std::size_t i = 0; i < requests_.size(); ++i) {
+      if (requests_[i].id == request_id) return i;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return requests_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return requests_.empty(); }
+  [[nodiscard]] const Request& operator[](std::size_t i) const {
+    return requests_[i];
+  }
+  [[nodiscard]] const Request& head() const { return requests_.front(); }
+  [[nodiscard]] const Request& back() const { return requests_.back(); }
+  [[nodiscard]] auto begin() const noexcept { return requests_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return requests_.end(); }
+  [[nodiscard]] std::span<const Request> span() const noexcept {
+    return requests_;
+  }
+
+  // `this` is a (non-strict) prefix of `other`.
+  [[nodiscard]] bool prefix_of(const History& other) const noexcept {
+    if (size() > other.size()) return false;
+    return std::equal(begin(), end(), other.begin());
+  }
+
+  [[nodiscard]] bool strict_prefix_of(const History& other) const noexcept {
+    return size() < other.size() && prefix_of(other);
+  }
+
+  [[nodiscard]] History prefix(std::size_t n) const {
+    History h;
+    h.requests_.assign(requests_.begin(),
+                       requests_.begin() + static_cast<long>(
+                                               std::min(n, requests_.size())));
+    return h;
+  }
+
+  // Prefix of this history up to and including request `id`; nullopt if
+  // the request does not appear.
+  [[nodiscard]] std::optional<History> prefix_through(
+      std::uint64_t id) const {
+    const auto idx = index_of(id);
+    if (!idx) return std::nullopt;
+    return prefix(*idx + 1);
+  }
+
+  // Concatenation h1 · h2 (h2's requests must not repeat h1's).
+  [[nodiscard]] History concat(const History& tail) const {
+    History h = *this;
+    for (const Request& r : tail) h.append(r);
+    return h;
+  }
+
+  [[nodiscard]] bool has_duplicates() const noexcept {
+    for (std::size_t i = 0; i < requests_.size(); ++i) {
+      for (std::size_t j = i + 1; j < requests_.size(); ++j) {
+        if (requests_[i].id == requests_[j].id) return true;
+      }
+    }
+    return false;
+  }
+
+  friend bool operator==(const History&, const History&) = default;
+
+  static History common_prefix(const History& a, const History& b) {
+    History h;
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n && a[i] == b[i]; ++i) h.append(a[i]);
+    return h;
+  }
+
+ private:
+  std::vector<Request> requests_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const History& h) {
+  os << '[';
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << '#' << h[i].id;
+  }
+  return os << ']';
+}
+
+}  // namespace scm

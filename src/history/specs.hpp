@@ -1,0 +1,200 @@
+// Sequential specifications Δ ⊆ Q × I × Q × R for the object types used
+// throughout the paper and this library, plus the β evaluators and the
+// ≡_I history equivalence of Section 5.
+//
+// A spec is a stateless type with:
+//   using State = ...;                 // Q (default-constructed == s)
+//   static Response apply(State&, const Request&);   // Δ, deterministic
+// Responses are int64; specs document their encoding.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "history/history.hpp"
+#include "history/request.hpp"
+
+namespace scm {
+
+// ---------------------------------------------------------------------------
+// Test-and-set (Section 3): initial state 0; test-and-set() atomically
+// reads and sets to 1. The unique process returning 0 is the winner.
+// Response encoding: 0 = winner, 1 = loser.
+struct TasSpec {
+  struct State {
+    int value = 0;
+  };
+  enum Op : std::int64_t { kTestAndSet = 0 };
+  static constexpr Response kWinner = 0;
+  static constexpr Response kLoser = 1;
+
+  static Response apply(State& s, const Request&) {
+    const int prev = s.value;
+    s.value = 1;
+    return prev;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Consensus: propose(v); the first proposal fixes the decision, every
+// propose returns the decided value.
+struct ConsensusSpec {
+  struct State {
+    bool decided = false;
+    std::int64_t decision = 0;
+  };
+  enum Op : std::int64_t { kPropose = 0 };
+
+  static Response apply(State& s, const Request& r) {
+    if (!s.decided) {
+      s.decided = true;
+      s.decision = r.arg;
+    }
+    return s.decision;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Fetch-and-increment counter (mentioned in the paper's conclusions as
+// a future-work target; we use it to exercise the universal
+// construction on a non-trivial type).
+struct CounterSpec {
+  struct State {
+    std::int64_t value = 0;
+  };
+  enum Op : std::int64_t { kFetchInc = 0, kRead = 1 };
+
+  static Response apply(State& s, const Request& r) {
+    if (r.op == kRead) return s.value;
+    return s.value++;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Read/write register.
+struct RegisterSpec {
+  struct State {
+    std::int64_t value = 0;
+  };
+  enum Op : std::int64_t { kRead = 0, kWrite = 1 };
+  static constexpr Response kAck = 0;
+
+  static Response apply(State& s, const Request& r) {
+    if (r.op == kWrite) {
+      s.value = r.arg;
+      return kAck;
+    }
+    return s.value;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// FIFO queue (the other future-work object from the conclusions).
+// enqueue(v) returns kAck; dequeue returns the head or kEmpty.
+struct QueueSpec {
+  struct State {
+    std::deque<std::int64_t> items;
+  };
+  enum Op : std::int64_t { kEnqueue = 0, kDequeue = 1 };
+  static constexpr Response kAck = 0;
+  static constexpr Response kEmpty = -1;
+
+  static Response apply(State& s, const Request& r) {
+    if (r.op == kEnqueue) {
+      s.items.push_back(r.arg);
+      return kAck;
+    }
+    if (s.items.empty()) return kEmpty;
+    const Response head = s.items.front();
+    s.items.pop_front();
+    return head;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// β evaluators (Section 5): β(h) is the last response obtained by
+// applying h sequentially from the initial state; β(h, m) the response
+// matching request m in h.
+
+template <class Spec>
+[[nodiscard]] typename Spec::State final_state(const History& h) {
+  typename Spec::State s{};
+  for (const Request& r : h) (void)Spec::apply(s, r);
+  return s;
+}
+
+template <class Spec>
+[[nodiscard]] Response beta(const History& h) {
+  typename Spec::State s{};
+  Response last = kNoResponse;
+  for (const Request& r : h) last = Spec::apply(s, r);
+  return last;
+}
+
+template <class Spec>
+[[nodiscard]] Response beta(const History& h, std::uint64_t request_id) {
+  typename Spec::State s{};
+  for (const Request& r : h) {
+    const Response resp = Spec::apply(s, r);
+    if (r.id == request_id) return resp;
+  }
+  return kNoResponse;
+}
+
+// ---------------------------------------------------------------------------
+// ≡_I equivalence (Section 5): h1 ≡_I h2 iff (i) both contain every
+// request in I, (ii) β(h1·h) = β(h2·h) for all extensions h, and
+// (iii) β(h1, m) = β(h2, m) for every m ∈ I.
+//
+// For deterministic state-based specs, condition (ii) holds whenever
+// the final states are equal (the response to every future request is a
+// function of the state), which is the criterion we use. This is sound
+// (never claims equivalence that does not hold) and complete for every
+// spec above, whose states have no unobservable components.
+
+template <class Spec>
+[[nodiscard]] bool states_equal(const typename Spec::State& a,
+                                const typename Spec::State& b) {
+  if constexpr (requires { a == b; }) {
+    return a == b;
+  } else {
+    static_assert(sizeof(Spec) && false, "State must be equality-comparable");
+  }
+}
+
+inline bool operator==(const TasSpec::State& a, const TasSpec::State& b) {
+  return a.value == b.value;
+}
+inline bool operator==(const ConsensusSpec::State& a,
+                       const ConsensusSpec::State& b) {
+  return a.decided == b.decided && (!a.decided || a.decision == b.decision);
+}
+inline bool operator==(const CounterSpec::State& a,
+                       const CounterSpec::State& b) {
+  return a.value == b.value;
+}
+inline bool operator==(const RegisterSpec::State& a,
+                       const RegisterSpec::State& b) {
+  return a.value == b.value;
+}
+inline bool operator==(const QueueSpec::State& a, const QueueSpec::State& b) {
+  return a.items == b.items;
+}
+
+template <class Spec>
+[[nodiscard]] bool equivalent_under(const History& h1, const History& h2,
+                                    std::span<const Request> I) {
+  for (const Request& m : I) {
+    if (!h1.contains(m.id) || !h2.contains(m.id)) return false;
+  }
+  if (!states_equal<Spec>(final_state<Spec>(h1), final_state<Spec>(h2))) {
+    return false;
+  }
+  for (const Request& m : I) {
+    if (beta<Spec>(h1, m.id) != beta<Spec>(h2, m.id)) return false;
+  }
+  return true;
+}
+
+}  // namespace scm

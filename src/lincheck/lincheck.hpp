@@ -1,0 +1,127 @@
+// Wing & Gong style linearizability checker with memoization.
+//
+// Used to discharge Theorem 3 ("any safely composable module taken on
+// its own is linearizable") and Theorem 4 (the composed TAS is
+// linearizable) on recorded executions: tests feed the checker the
+// timestamped concurrent operations of a run and the sequential spec,
+// and the checker searches for a linearization respecting real-time
+// order.
+//
+// Complexity is exponential in the number of overlapping operations;
+// traces in this repository stay small (≤ ~20 ops), and the
+// (linearized-set, state) memo keeps the search tractable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "history/request.hpp"
+#include "history/specs.hpp"
+
+namespace scm {
+
+// One operation as observed concurrently. `invoke`/`ret` come from any
+// monotone global clock (the simulator's event sequence, or an atomic
+// counter on the native platform). Pending operations (crashed process
+// or cut off at trace end) have completed = false; they may linearize
+// anywhere after their invocation, or not at all.
+struct ConcurrentOp {
+  ProcessId pid = kInvalidProcess;
+  Request request;
+  Response response = kNoResponse;
+  std::uint64_t invoke = 0;
+  std::uint64_t ret = 0;
+  bool completed = true;
+};
+
+namespace detail {
+
+template <class Spec>
+std::string state_key(const typename Spec::State& s) {
+  if constexpr (requires { s.value; }) {
+    return std::to_string(s.value);
+  } else if constexpr (requires { s.decided; }) {
+    return s.decided ? std::to_string(s.decision) : std::string("~");
+  } else if constexpr (requires { s.items; }) {
+    std::ostringstream oss;
+    for (const auto& v : s.items) oss << v << ',';
+    return oss.str();
+  } else {
+    static_assert(sizeof(Spec) && false, "no state_key for this spec");
+  }
+}
+
+}  // namespace detail
+
+template <class Spec>
+class LinearizabilityChecker {
+ public:
+  explicit LinearizabilityChecker(std::vector<ConcurrentOp> ops)
+      : ops_(std::move(ops)) {
+    SCM_CHECK_MSG(ops_.size() <= 63, "trace too large for bitmask checker");
+  }
+
+  // True iff some linearization exists: a total order of all completed
+  // operations (plus any subset of pending ones) that respects
+  // real-time precedence and the sequential specification.
+  [[nodiscard]] bool check() {
+    visited_.clear();
+    typename Spec::State initial{};
+    return dfs(0, initial);
+  }
+
+ private:
+  using Mask = std::uint64_t;
+
+  [[nodiscard]] bool all_completed_linearized(Mask done) const {
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (ops_[i].completed && (done & (Mask{1} << i)) == 0) return false;
+    }
+    return true;
+  }
+
+  // Operation i may be linearized next iff no *unlinearized* operation
+  // returned before i was invoked (that operation would have to come
+  // first).
+  [[nodiscard]] bool is_minimal(Mask done, std::size_t i) const {
+    for (std::size_t j = 0; j < ops_.size(); ++j) {
+      if (j == i || (done & (Mask{1} << j)) != 0) continue;
+      if (!ops_[j].completed) continue;  // pending ops never block others
+      if (ops_[j].ret < ops_[i].invoke) return false;
+    }
+    return true;
+  }
+
+  bool dfs(Mask done, const typename Spec::State& state) {
+    if (all_completed_linearized(done)) return true;
+    const std::string key = detail::state_key<Spec>(state);
+    auto [it, inserted] = visited_[done].insert(key);
+    if (!inserted) return false;  // seen this configuration
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if ((done & (Mask{1} << i)) != 0) continue;
+      if (!is_minimal(done, i)) continue;
+      typename Spec::State next = state;
+      const Response got = Spec::apply(next, ops_[i].request);
+      if (ops_[i].completed && got != ops_[i].response) continue;
+      if (dfs(done | (Mask{1} << i), next)) return true;
+    }
+    return false;
+  }
+
+  std::vector<ConcurrentOp> ops_;
+  std::map<Mask, std::set<std::string>> visited_;
+};
+
+// Convenience wrapper.
+template <class Spec>
+[[nodiscard]] bool linearizable(std::vector<ConcurrentOp> ops) {
+  return LinearizabilityChecker<Spec>(std::move(ops)).check();
+}
+
+}  // namespace scm

@@ -1,0 +1,48 @@
+// The Platform concept.
+//
+// Every algorithm in this library is a template over a Platform that
+// supplies the shared-memory base objects and the execution context:
+//
+//   P::Context            — per-process execution context (step hooks)
+//   P::Register<T>        — MWMR atomic register
+//   P::Tas                — hardware test-and-set
+//   P::Cas<T>             — hardware compare-and-swap
+//   P::Counter            — fetch-and-add counter
+//
+// Two platforms are provided: NativePlatform (std::atomic, real
+// threads; used by benchmarks and examples) and sim::SimPlatform
+// (deterministic scheduler; used by tests and model-level benches).
+// Algorithm code is byte-for-byte identical across the two.
+#pragma once
+
+#include <concepts>
+
+#include "runtime/context.hpp"
+#include "runtime/primitives.hpp"
+#include "runtime/registers.hpp"
+
+namespace scm {
+
+// Minimal structural requirements on a platform context.
+template <class Ctx>
+concept ExecutionContext = requires(Ctx c) {
+  { c.id() } -> std::convertible_to<ProcessId>;
+  { c.counters() } -> std::convertible_to<StepCounters&>;
+  c.on_read();
+  c.on_write();
+  c.on_rmw();
+};
+
+struct NativePlatform {
+  using Context = NativeContext;
+  template <class T>
+  using Register = NativeRegister<T>;
+  using Tas = NativeTas;
+  template <class T>
+  using Cas = NativeCas<T>;
+  using Counter = NativeCounter;
+};
+
+static_assert(ExecutionContext<NativePlatform::Context>);
+
+}  // namespace scm

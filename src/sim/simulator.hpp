@@ -1,0 +1,211 @@
+// Deterministic shared-memory simulator.
+//
+// The paper's model is an asynchronous shared memory with an
+// adversarial scheduler: complexity is counted in shared-memory steps
+// and progress conditions quantify over *which interleavings occur*
+// (step contention, interval contention). Real threads cannot control
+// interleavings, so tests and model-level measurements run algorithms
+// on this simulator instead:
+//
+//  * every process runs on its own thread, but a token-passing
+//    controller lets exactly one process execute at a time;
+//  * every shared-memory access (register read/write, RMW) is a
+//    scheduling point: the process parks and the Schedule policy picks
+//    who takes the next step;
+//  * the controller can crash a process at any scheduling point
+//    (n-1 crash faults, as in the model);
+//  * all events (operation invocations/responses and steps) get global
+//    sequence numbers, from which the simulator derives step-contention
+//    and interval-contention verdicts per operation.
+//
+// Determinism: given a deterministic Schedule, the full execution —
+// every register value, every step, every trace — is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "runtime/ids.hpp"
+
+namespace scm::sim {
+
+class Simulator;
+
+// Thrown into a process body when the scheduler crashes it. Algorithm
+// code must be exception-neutral (it is: no catch blocks), so the crash
+// unwinds to the simulator's thread wrapper, leaving shared state
+// exactly as the model prescribes: half-finished.
+struct Crashed {};
+
+enum class Access : std::uint8_t { kRead, kWrite, kRmw };
+
+// Execution context handed to a simulated process body. Satisfies the
+// scm::ExecutionContext concept, so the same algorithm templates run
+// here and on the native platform.
+class SimContext {
+ public:
+  [[nodiscard]] ProcessId id() const noexcept { return id_; }
+  [[nodiscard]] StepCounters& counters() noexcept { return counters_; }
+
+  void on_read() {
+    take_step(Access::kRead);
+    ++counters_.reads;
+  }
+  void on_write() {
+    take_step(Access::kWrite);
+    ++counters_.writes;
+  }
+  void on_rmw() {
+    take_step(Access::kRmw);
+    ++counters_.rmws;
+  }
+
+  // Operation markers. Not shared-memory steps; they stamp the global
+  // event sequence so the simulator can compute per-operation step
+  // contention and interval contention, and so linearizability checks
+  // get a real-time order.
+  void begin_op(std::int64_t tag = 0);
+  void end_op(std::int64_t output = 0);
+
+ private:
+  friend class Simulator;
+  SimContext(Simulator& sim, ProcessId id) noexcept : sim_(&sim), id_(id) {}
+  void take_step(Access kind);
+
+  Simulator* sim_;
+  ProcessId id_;
+  StepCounters counters_{};
+};
+
+// One operation as observed by the simulator.
+struct OpRecord {
+  ProcessId pid = kInvalidProcess;
+  std::int64_t tag = 0;     // caller-chosen (e.g. request id)
+  std::int64_t output = 0;  // caller-reported at end_op
+  std::uint64_t invoke_event = 0;
+  std::uint64_t response_event = 0;
+  bool complete = false;  // false => the process crashed inside the op
+};
+
+// One granted shared-memory step.
+struct StepRecord {
+  std::uint64_t event = 0;  // global event sequence number
+  ProcessId pid = kInvalidProcess;
+  Access kind = Access::kRead;
+};
+
+// Scheduling policy. `next` picks the process to take the next step
+// among the currently parked (runnable) ones; `should_crash` may kill
+// the picked process at that point instead.
+class Schedule {
+ public:
+  virtual ~Schedule() = default;
+
+  struct View {
+    std::span<const ProcessId> runnable;  // ascending pid order
+    std::uint64_t step_index = 0;         // steps granted so far
+    const Simulator* sim = nullptr;
+  };
+
+  virtual ProcessId next(const View& view) = 0;
+  virtual bool should_crash(ProcessId /*pid*/, const View& /*view*/) {
+    return false;
+  }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t max_steps = 1'000'000);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Registers a process; bodies start running only inside run().
+  ProcessId add_process(std::function<void(SimContext&)> body);
+
+  [[nodiscard]] int process_count() const noexcept {
+    return static_cast<int>(procs_.size());
+  }
+
+  // Runs all processes to completion under `schedule`. Returns the
+  // number of shared-memory steps granted. May be called once.
+  std::uint64_t run(Schedule& schedule);
+
+  // ---- post-run queries -------------------------------------------------
+
+  [[nodiscard]] std::uint64_t steps_taken() const noexcept { return steps_; }
+  [[nodiscard]] bool hit_step_limit() const noexcept { return hit_limit_; }
+  [[nodiscard]] bool crashed(ProcessId pid) const;
+  [[nodiscard]] const StepCounters& counters(ProcessId pid) const;
+  [[nodiscard]] const std::vector<OpRecord>& ops() const noexcept {
+    return op_records_;
+  }
+  [[nodiscard]] const std::vector<StepRecord>& steps() const noexcept {
+    return step_log_;
+  }
+
+  // True if any *other* process took a shared-memory step between the
+  // operation's invocation and its response (step contention, [6]).
+  [[nodiscard]] bool op_has_step_contention(const OpRecord& op) const;
+
+  // Number of distinct other operations overlapping this one in real
+  // time (interval contention, [2]).
+  [[nodiscard]] int op_interval_contention(const OpRecord& op) const;
+
+  // True while `pid` is between begin_op and end_op. Valid during run()
+  // for Schedule implementations.
+  [[nodiscard]] bool in_operation(ProcessId pid) const;
+
+ private:
+  friend class SimContext;
+
+  enum class State : std::uint8_t {
+    kUnstarted,  // thread not launched yet
+    kParked,     // waiting at a scheduling point (or at startup)
+    kGranted,    // scheduler granted one step; thread is waking
+    kRunning,    // executing user code exclusively
+    kDone,       // body returned
+    kCrashed     // body unwound via Crashed
+  };
+
+  struct Proc {
+    std::function<void(SimContext&)> body;
+    std::unique_ptr<SimContext> ctx;
+    std::thread thread;
+    State state = State::kUnstarted;
+    bool crash_pending = false;
+    bool started = false;  // has consumed its startup grant
+    bool in_op = false;
+    std::size_t open_op_index = 0;  // index into op_records_ while in_op
+  };
+
+  void thread_main(ProcessId pid);
+  void take_step(ProcessId pid, Access kind);
+  void record_begin_op(ProcessId pid, std::int64_t tag);
+  void record_end_op(ProcessId pid, std::int64_t output);
+
+  // Waits (holding lk) until no process is kGranted/kRunning.
+  void await_quiescent(std::unique_lock<std::mutex>& lk);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<StepRecord> step_log_;
+  std::vector<OpRecord> op_records_;
+  std::uint64_t event_seq_ = 0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t max_steps_;
+  bool running_ = false;
+  bool hit_limit_ = false;
+};
+
+}  // namespace scm::sim

@@ -1,0 +1,32 @@
+// Lightweight checked assertions that stay on in release builds.
+// Model-level invariants (e.g. "at most one TAS winner") are cheap to
+// check and catastrophic to miss, so we do not compile them out.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scm::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "SCM_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace scm::detail
+
+#define SCM_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::scm::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);  \
+    }                                                                  \
+  } while (false)
+
+#define SCM_CHECK_MSG(expr, msg)                                    \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::scm::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                \
+  } while (false)

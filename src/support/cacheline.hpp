@@ -1,0 +1,42 @@
+// Cache-line utilities: padding wrappers used to keep independently
+// written shared variables on distinct cache lines (false-sharing
+// avoidance, Core Guidelines CP.200-adjacent practice for HPC code).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace scm {
+
+// Destructive interference size; hardcoded fallback because libstdc++
+// only exposes std::hardware_destructive_interference_size behind a
+// warning-prone macro on some targets.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// A value of type T padded out to occupy at least one full cache line,
+// aligned on a cache-line boundary. Used for elements of shared arrays
+// where distinct processes write distinct slots.
+template <class T>
+struct alignas(kCacheLineSize) Padded {
+  static_assert(!std::is_reference_v<T>);
+
+  T value{};
+
+  Padded() = default;
+  explicit Padded(T v) : value(std::move(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Guarantee the footprint even when alignof(T) would already suffice.
+  char padding_[(sizeof(T) % kCacheLineSize) == 0
+                    ? 1
+                    : kCacheLineSize - (sizeof(T) % kCacheLineSize)]{};
+};
+
+}  // namespace scm

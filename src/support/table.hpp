@@ -1,0 +1,76 @@
+// Fixed-width ASCII table printer. Every bench binary prints its
+// claim-validation results through this so that `bench_output.txt`
+// reads like the tables in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace scm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    widths_.reserve(headers_.size());
+    for (const auto& h : headers_) widths_.push_back(h.size());
+  }
+
+  // Append one row; cells are converted with operator<<.
+  template <class... Cells>
+  void row(const Cells&... cells) {
+    std::vector<std::string> r;
+    r.reserve(sizeof...(cells));
+    (r.push_back(to_cell(cells)), ...);
+    for (std::size_t i = 0; i < r.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], r[i].size());
+    }
+    rows_.push_back(std::move(r));
+  }
+
+  void print(std::ostream& os = std::cout, const std::string& title = "") const {
+    if (!title.empty()) os << "== " << title << " ==\n";
+    print_rule(os);
+    print_row(os, headers_);
+    print_rule(os);
+    for (const auto& r : rows_) print_row(os, r);
+    print_rule(os);
+  }
+
+ private:
+  template <class T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream oss;
+    if constexpr (std::is_floating_point_v<T>) {
+      oss << std::fixed << std::setprecision(2) << v;
+    } else {
+      oss << v;
+    }
+    return oss.str();
+  }
+
+  void print_rule(std::ostream& os) const {
+    os << '+';
+    for (std::size_t w : widths_) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  }
+
+  void print_row(std::ostream& os, const std::vector<std::string>& r) const {
+    os << '|';
+    for (std::size_t i = 0; i < widths_.size(); ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string{};
+      os << ' ' << cell << std::string(widths_[i] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scm

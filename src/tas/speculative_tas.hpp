@@ -1,0 +1,91 @@
+// The one-shot speculative test-and-set (Figure 1 / Algorithm 2,
+// lines 9-15): A1 composed with A2.
+//
+// A process first runs the obstruction-free module; if it aborts
+// (because of step contention), the switch value initializes the
+// wait-free hardware module. The result is a wait-free linearizable
+// one-shot TAS (Lemma 7) that
+//   * touches only registers — constant count — when uncontended,
+//   * uses objects of consensus number at most 2 (checked statically),
+//   * performs at most one RMW per operation.
+#pragma once
+
+#include <optional>
+
+#include "core/module.hpp"
+#include "history/specs.hpp"
+#include "tas/a1_module.hpp"
+#include "tas/a2_module.hpp"
+
+namespace scm {
+
+// Which module served an operation — Figure 1's arrows, for tests and
+// benches that validate the switching behaviour.
+enum class TasPath : std::uint8_t { kSpeculative, kHardware };
+
+struct TasOutcome {
+  Response value = TasSpec::kLoser;  // kWinner or kLoser
+  TasPath path = TasPath::kSpeculative;
+
+  [[nodiscard]] bool won() const noexcept { return value == TasSpec::kWinner; }
+};
+
+template <class P, bool SoloFast = false>
+class SpeculativeTas {
+ public:
+  using A1 = ObstructionFreeTas<P, /*CheckAbortedOnEntry=*/!SoloFast>;
+  using A2 = WaitFreeTas<P>;
+  static constexpr int kConsensusNumber =
+      std::max(A1::kConsensusNumber, A2::kConsensusNumber);
+  static_assert(kConsensusNumber <= 2,
+                "the composed TAS must not require consensus (Section 6)");
+  using Context = typename P::Context;
+
+  // One-shot test-and-set; wait-free.
+  template <class Ctx>
+  TasOutcome test_and_set(Ctx& ctx, const Request& m) {
+    const ModuleResult first = a1_.invoke(ctx, m, std::nullopt);
+    if (first.committed()) {
+      return TasOutcome{first.response, TasPath::kSpeculative};
+    }
+    const ModuleResult second = a2_.invoke(ctx, m, first.switch_value);
+    SCM_CHECK_MSG(second.committed(), "wait-free module aborted");
+    return TasOutcome{second.response, TasPath::kHardware};
+  }
+
+  // Module interface, so a SpeculativeTas composes further (Theorem 2
+  // allows composing compositions; A1 can even be composed with
+  // itself).
+  template <class Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& m,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    const ModuleResult first = a1_.invoke(ctx, m, init);
+    if (first.committed()) return first;
+    return a2_.invoke(ctx, m, first.switch_value);
+  }
+
+  [[nodiscard]] A1& speculative_module() noexcept { return a1_; }
+  [[nodiscard]] A2& hardware_module() noexcept { return a2_; }
+
+  // Current logical value (diagnostics): taken if either module shows
+  // it taken.
+  [[nodiscard]] bool taken() const {
+    return a1_.value() == 1 || a2_.value() == 1;
+  }
+
+  void unsafe_reset() {
+    a1_.unsafe_reset();
+    a2_.unsafe_reset();
+  }
+
+ private:
+  A1 a1_;
+  A2 a2_;
+};
+
+// Appendix B: solo-fast composition — a process reverts to hardware
+// only when it itself encounters step contention.
+template <class P>
+using SoloFastTas = SpeculativeTas<P, /*SoloFast=*/true>;
+
+}  // namespace scm

@@ -1,0 +1,85 @@
+// Tournament test-and-set after Afek, Gafni, Tromp and Vitányi [1] —
+// the classic wait-free n-process TAS built from a binary tree of
+// 2-process building blocks. The paper cites [1] both as prior art and
+// as the source of the multi-use (reset) transformation of Algorithm 2.
+//
+// We use it as the "register-ish" baseline with Θ(log n) step
+// complexity on *every* path: it shows what TAS costs without
+// speculation, sitting between the speculative O(1) fast path and the
+// single hardware RMW. Each internal tree node is a 2-process
+// obstruction-free doorway backed by a hardware tie-breaker, so the
+// whole object is wait-free and its consensus number is 2, like the
+// speculative TAS.
+#pragma once
+
+#include <bit>
+#include <memory>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "history/specs.hpp"
+#include "runtime/ids.hpp"
+
+namespace scm {
+
+template <class P>
+class TournamentTas {
+ public:
+  static constexpr int kConsensusNumber = kConsensusNumberTas;
+  using Context = typename P::Context;
+
+  explicit TournamentTas(int num_processes)
+      : leaves_(std::bit_ceil(static_cast<unsigned>(
+            num_processes < 2 ? 2 : num_processes))) {
+    SCM_CHECK(num_processes > 0);
+    // Perfect binary tree stored heap-style: nodes 1..2*leaves-1.
+    nodes_ = std::make_unique<Node[]>(2 * leaves_);
+  }
+
+  // Wait-free test-and-set: climb from the leaf, winning 2-process
+  // matches; the process that wins the root wins the object.
+  template <class Ctx>
+  [[nodiscard]] Response test_and_set(Ctx& ctx) {
+    std::size_t node = leaves_ + static_cast<std::size_t>(ctx.id()) % leaves_;
+    int side = static_cast<int>(node & 1);
+    while (node > 1) {
+      node /= 2;
+      if (!win_match(ctx, nodes_[node], side)) {
+        return TasSpec::kLoser;
+      }
+      side = static_cast<int>(node & 1);
+    }
+    return TasSpec::kWinner;
+  }
+
+  // Steps a solo winner takes: 3 per level (diagnostic; used by the
+  // baseline bench).
+  [[nodiscard]] std::size_t levels() const {
+    return static_cast<std::size_t>(std::bit_width(leaves_)) - 0;
+  }
+
+ private:
+  // One 2-contender match: each side announces, then a hardware
+  // tie-breaker decides races. The first arriver on an uncontended
+  // node wins with registers only plus one RMW on the shared breaker.
+  struct Node {
+    typename P::template Register<bool> present[2]{};
+    typename P::Tas breaker;
+  };
+
+  template <class Ctx>
+  [[nodiscard]] bool win_match(Ctx& ctx, Node& node, int side) {
+    node.present[side].write(ctx, true);
+    if (node.present[1 - side].read(ctx)) {
+      // Contended match: the hardware breaker picks exactly one winner.
+      return node.breaker.test_and_set(ctx) == 0;
+    }
+    // Uncontended side still claims the breaker so a later rival loses.
+    return node.breaker.test_and_set(ctx) == 0;
+  }
+
+  std::size_t leaves_;
+  std::unique_ptr<Node[]> nodes_;
+};
+
+}  // namespace scm

@@ -1,0 +1,44 @@
+// The Abstract interface (Definition 1, [12, 20]): an abortable
+// replicated state machine. Invoke(m, h) commits or aborts the request
+// m together with a history; commit histories are totally ordered by
+// prefix, abort histories extend every commit history, and composing
+// two Abstracts yields an Abstract (Theorem 1).
+#pragma once
+
+#include "core/module.hpp"
+#include "history/history.hpp"
+#include "history/request.hpp"
+
+namespace scm {
+
+struct AbstractResult {
+  Outcome outcome = Outcome::kCommit;
+  Response response = kNoResponse;  // β(history, m) — valid on commit
+  History history;                  // commit history or abort history
+
+  [[nodiscard]] bool committed() const noexcept {
+    return outcome == Outcome::kCommit;
+  }
+};
+
+// Type-erased Abstract instance for one platform. The universal chain
+// composes stages through this interface; virtual dispatch is
+// acceptable here because the universal construction's costs are
+// dominated by consensus and snapshot steps (Proposition 2 territory),
+// not by call overhead.
+template <class P>
+class AbstractStage {
+ public:
+  virtual ~AbstractStage() = default;
+
+  // Issues request m with initial history h (empty for "no init").
+  virtual AbstractResult invoke(typename P::Context& ctx, const Request& m,
+                                const History& init) = 0;
+
+  // Largest consensus number among the base objects this stage uses.
+  [[nodiscard]] virtual int consensus_number() const = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace scm

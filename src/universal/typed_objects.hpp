@@ -1,0 +1,131 @@
+// Typed façades over the universal chain — the "more complex objects"
+// of the paper's conclusions (queues, fetch-and-increment registers)
+// with ordinary method interfaces instead of raw requests.
+//
+// Each façade owns a three-stage Proposition-1 chain (registers-only
+// SplitConsensus -> registers-only AbortableBakery -> wait-free CAS)
+// and mints unique request ids per process. All operations are
+// wait-free and linearizable; quiet executions never leave the
+// register stages.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "support/cacheline.hpp"
+#include "consensus/abortable_bakery.hpp"
+#include "consensus/cas_consensus.hpp"
+#include "consensus/split_consensus.hpp"
+#include "history/specs.hpp"
+#include "universal/composable_universal.hpp"
+#include "universal/universal_chain.hpp"
+
+namespace scm {
+
+namespace detail {
+
+template <class P, class Spec, std::size_t Cap>
+std::unique_ptr<UniversalChain<P, Spec>> make_standard_chain(int n) {
+  std::vector<std::unique_ptr<AbstractStage<P>>> stages;
+  stages.push_back(
+      std::make_unique<ComposableUniversal<P, Spec, SplitConsensus<P>, Cap>>(
+          n, Cap, "split/registers"));
+  stages.push_back(
+      std::make_unique<ComposableUniversal<P, Spec, AbortableBakery<P>, Cap>>(
+          n, Cap, "bakery/registers"));
+  stages.push_back(
+      std::make_unique<ComposableUniversal<P, Spec, CasConsensus<P>, Cap>>(
+          n, Cap, "cas/hardware"));
+  return std::make_unique<UniversalChain<P, Spec>>(n, std::move(stages));
+}
+
+// Per-process unique request-id minting.
+template <class P>
+class RequestMinter {
+ public:
+  explicit RequestMinter(int n)
+      : seq_(std::make_unique<Padded<std::uint64_t>[]>(
+            static_cast<std::size_t>(n))) {}
+
+  Request mint(typename P::Context& ctx, std::int64_t op, std::int64_t arg) {
+    auto& mine = seq_[static_cast<std::size_t>(ctx.id())].value;
+    const std::uint64_t id =
+        (static_cast<std::uint64_t>(ctx.id()) << 40) | ++mine;
+    return Request{id, ctx.id(), op, arg};
+  }
+
+ private:
+  std::unique_ptr<Padded<std::uint64_t>[]> seq_;
+};
+
+}  // namespace detail
+
+// Wait-free linearizable fetch&increment counter (Proposition 1 + the
+// conclusions' fetch-and-increment target). Cap bounds the total
+// operations the object accepts over its lifetime (a model parameter of
+// the underlying construction).
+template <class P, std::size_t Cap = 64>
+class UniversalCounter {
+ public:
+  using Context = typename P::Context;
+
+  explicit UniversalCounter(int num_processes)
+      : minter_(num_processes),
+        chain_(detail::make_standard_chain<P, CounterSpec, Cap>(
+            num_processes)) {}
+
+  // Atomically returns the current value and increments it.
+  [[nodiscard]] std::int64_t fetch_increment(Context& ctx) {
+    return chain_
+        ->perform(ctx, minter_.mint(ctx, CounterSpec::kFetchInc, 0))
+        .response;
+  }
+
+  // Linearizable read.
+  [[nodiscard]] std::int64_t read(Context& ctx) {
+    return chain_->perform(ctx, minter_.mint(ctx, CounterSpec::kRead, 0))
+        .response;
+  }
+
+  [[nodiscard]] const UniversalChain<P, CounterSpec>& chain() const {
+    return *chain_;
+  }
+
+ private:
+  detail::RequestMinter<P> minter_;
+  std::unique_ptr<UniversalChain<P, CounterSpec>> chain_;
+};
+
+// Wait-free linearizable FIFO queue of int64 values (the conclusions'
+// queue target).
+template <class P, std::size_t Cap = 64>
+class UniversalQueue {
+ public:
+  using Context = typename P::Context;
+  static constexpr std::int64_t kEmpty = QueueSpec::kEmpty;
+
+  explicit UniversalQueue(int num_processes)
+      : minter_(num_processes),
+        chain_(
+            detail::make_standard_chain<P, QueueSpec, Cap>(num_processes)) {}
+
+  void enqueue(Context& ctx, std::int64_t value) {
+    (void)chain_->perform(ctx, minter_.mint(ctx, QueueSpec::kEnqueue, value));
+  }
+
+  // Returns the head, or kEmpty.
+  [[nodiscard]] std::int64_t dequeue(Context& ctx) {
+    return chain_->perform(ctx, minter_.mint(ctx, QueueSpec::kDequeue, 0))
+        .response;
+  }
+
+  [[nodiscard]] const UniversalChain<P, QueueSpec>& chain() const {
+    return *chain_;
+  }
+
+ private:
+  detail::RequestMinter<P> minter_;
+  std::unique_ptr<UniversalChain<P, QueueSpec>> chain_;
+};
+
+}  // namespace scm

@@ -1,0 +1,101 @@
+// A chain of composed Abstract instances (Section 4.2, "Contention-free,
+// obstruction-free and wait-free variants").
+//
+// The chain first calls stage 0; on Abort(m, h) it calls stage 1 with
+// initial history h, and so on (Theorem 1: the composition of Abstracts
+// is an Abstract). With a wait-free final stage the chain never aborts,
+// yielding a wait-free linearizable implementation of any sequential
+// type that uses only registers while the cheap stages commit
+// (Proposition 1).
+//
+// Stage switching is *sticky per process*, as in the paper: once a
+// process aborts out of a stage it keeps using the later stage for its
+// subsequent requests (an aborted Abstract instance is poisoned anyway).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/cacheline.hpp"
+#include "universal/abstract.hpp"
+
+namespace scm {
+
+template <class P, class Spec>
+class UniversalChain {
+ public:
+  using Context = typename P::Context;
+
+  UniversalChain(int num_processes,
+                 std::vector<std::unique_ptr<AbstractStage<P>>> stages)
+      : stages_(std::move(stages)) {
+    SCM_CHECK(num_processes > 0);
+    SCM_CHECK_MSG(!stages_.empty(), "empty universal chain");
+    per_proc_ = std::make_unique<PerProc[]>(
+        static_cast<std::size_t>(num_processes));
+  }
+
+  // Performs request m; wait-free iff the last stage never aborts.
+  // Returns the committed response together with the stage that served
+  // it (for progress accounting in the benches).
+  struct Performed {
+    Response response = kNoResponse;
+    std::size_t stage = 0;
+    History history;  // the commit history
+  };
+
+  Performed perform(Context& ctx, const Request& m) {
+    PerProc& me = per_proc_[static_cast<std::size_t>(ctx.id())];
+    for (;;) {
+      SCM_CHECK_MSG(me.stage < stages_.size(),
+                    "universal chain exhausted: last stage aborted");
+      AbstractResult r =
+          stages_[me.stage]->invoke(ctx, m, me.pending_init);
+      if (r.committed()) {
+        ++me.commits_by_stage[me.stage];
+        Performed out;
+        out.response = r.response;
+        out.stage = me.stage;
+        out.history = std::move(r.history);
+        return out;
+      }
+      // Abort: carry the abort history into the next stage as init.
+      me.pending_init = std::move(r.history);
+      ++me.stage;
+    }
+  }
+
+  [[nodiscard]] std::size_t stage_count() const noexcept {
+    return stages_.size();
+  }
+  [[nodiscard]] const AbstractStage<P>& stage(std::size_t i) const {
+    return *stages_.at(i);
+  }
+
+  // Commits served by stage `i` on behalf of process `pid`.
+  [[nodiscard]] std::uint64_t commits_by(ProcessId pid, std::size_t i) const {
+    return per_proc_[static_cast<std::size_t>(pid)].commits_by_stage.at(i);
+  }
+
+  // The chain's consensus number: max over stages actually present.
+  [[nodiscard]] int consensus_number() const {
+    int cn = 1;
+    for (const auto& s : stages_) cn = std::max(cn, s->consensus_number());
+    return cn;
+  }
+
+ private:
+  struct alignas(kCacheLineSize) PerProc {
+    std::size_t stage = 0;
+    History pending_init;  // abort history awaiting the next stage
+    std::vector<std::uint64_t> commits_by_stage =
+        std::vector<std::uint64_t>(8, 0);
+  };
+
+  std::vector<std::unique_ptr<AbstractStage<P>>> stages_;
+  std::unique_ptr<PerProc[]> per_proc_;
+};
+
+}  // namespace scm

@@ -1,0 +1,92 @@
+// Native multi-thread workload driver shared by the benchmark harness:
+// spawns P OS threads, each with its own counting NativeContext, aligns
+// them on a barrier, runs the supplied operation body, and aggregates
+// per-thread step counters and wall-clock time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "runtime/context.hpp"
+#include "runtime/ids.hpp"
+
+namespace scm::workload {
+
+struct DriverResult {
+  double seconds = 0.0;
+  std::uint64_t total_ops = 0;
+  std::vector<StepCounters> counters;  // per thread
+
+  [[nodiscard]] double ns_per_op() const {
+    return total_ops == 0 ? 0.0
+                          : seconds * 1e9 / static_cast<double>(total_ops);
+  }
+  [[nodiscard]] StepCounters total_counters() const {
+    StepCounters sum;
+    for (const auto& c : counters) sum += c;
+    return sum;
+  }
+  [[nodiscard]] double steps_per_op() const {
+    return total_ops == 0 ? 0.0
+                          : static_cast<double>(total_counters().total()) /
+                                static_cast<double>(total_ops);
+  }
+  [[nodiscard]] double rmws_per_op() const {
+    return total_ops == 0 ? 0.0
+                          : static_cast<double>(total_counters().rmws) /
+                                static_cast<double>(total_ops);
+  }
+};
+
+// body(ctx, op_index) is called ops_per_thread times on each of
+// `threads` threads. start_delay(pid) nanoseconds are waited (spinning)
+// by each thread after the barrier — used to build staggered-arrival
+// (low interval contention) phases.
+inline DriverResult run_threads(
+    int threads, std::uint64_t ops_per_thread,
+    const std::function<void(NativeContext&, std::uint64_t)>& body,
+    const std::function<std::uint64_t(ProcessId)>& start_delay_ns = {}) {
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<StepCounters> counters(static_cast<std::size_t>(threads));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      NativeContext ctx(static_cast<ProcessId>(t));
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      if (start_delay_ns) {
+        const auto wait = std::chrono::nanoseconds(start_delay_ns(t));
+        const auto until = std::chrono::steady_clock::now() + wait;
+        while (std::chrono::steady_clock::now() < until) {
+        }
+      }
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+        body(ctx, i);
+      }
+      counters[static_cast<std::size_t>(t)] = ctx.counters();
+    });
+  }
+
+  while (ready.load(std::memory_order_acquire) != threads) {
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  DriverResult out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.total_ops = static_cast<std::uint64_t>(threads) * ops_per_thread;
+  out.counters = std::move(counters);
+  return out;
+}
+
+}  // namespace scm::workload

@@ -1,0 +1,190 @@
+// Tests for the Definition-1 (Abstract) property checker: hand-built
+// traces exercising each property, positive and negative.
+#include <gtest/gtest.h>
+
+#include "core/abstract_checker.hpp"
+#include "core/trace.hpp"
+
+namespace scm {
+namespace {
+
+Request req(std::uint64_t id, ProcessId p = 0) { return Request{id, p, 0, 0}; }
+
+TraceEvent ev(std::uint64_t seq, EventKind k, ProcessId pid, Request r,
+              History h = {}) {
+  TraceEvent e;
+  e.seq = seq;
+  e.kind = k;
+  e.pid = pid;
+  e.request = r;
+  e.history = std::move(h);
+  return e;
+}
+
+TEST(AbstractChecker, EmptyTracePasses) {
+  EXPECT_TRUE(check_abstract_trace(Trace{}));
+}
+
+TEST(AbstractChecker, SimpleCommitChainPasses) {
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      ev(1, EventKind::kInvoke, 0, r1),
+      ev(2, EventKind::kCommit, 0, r1, History{r1}),
+      ev(3, EventKind::kInvoke, 1, r2),
+      ev(4, EventKind::kCommit, 1, r2, History{r1, r2}),
+  });
+  EXPECT_TRUE(check_abstract_trace(t));
+}
+
+TEST(AbstractChecker, CommitOrderViolationDetected) {
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      ev(1, EventKind::kInvoke, 0, r1),
+      ev(2, EventKind::kInvoke, 1, r2),
+      ev(3, EventKind::kCommit, 0, r1, History{r1}),
+      ev(4, EventKind::kCommit, 1, r2, History{r2}),  // not comparable
+  });
+  const auto result = check_abstract_trace(t);
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.error.find("Commit Order"), std::string::npos);
+}
+
+TEST(AbstractChecker, AbortOrderingViolationDetected) {
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      ev(1, EventKind::kInvoke, 0, r1),
+      ev(2, EventKind::kInvoke, 1, r2),
+      ev(3, EventKind::kCommit, 0, r1, History{r1, r2}),
+      // Abort history does not extend the commit history.
+      ev(4, EventKind::kAbort, 1, r2, History{r2, r1}),
+  });
+  const auto result = check_abstract_trace(t);
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.error.find("Abort Ordering"), std::string::npos);
+}
+
+TEST(AbstractChecker, AbortExtendingCommitPasses) {
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      ev(1, EventKind::kInvoke, 0, r1),
+      ev(2, EventKind::kInvoke, 1, r2),
+      ev(3, EventKind::kCommit, 0, r1, History{r1}),
+      ev(4, EventKind::kAbort, 1, r2, History{r1, r2}),
+  });
+  EXPECT_TRUE(check_abstract_trace(t));
+}
+
+TEST(AbstractChecker, ValidityPhantomRequestDetected) {
+  const Request r1 = req(1, 0), ghost = req(99, 3);
+  Trace t({
+      ev(1, EventKind::kInvoke, 0, r1),
+      ev(2, EventKind::kCommit, 0, r1, History{ghost, r1}),
+  });
+  const auto result = check_abstract_trace(t);
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.error.find("phantom"), std::string::npos);
+}
+
+TEST(AbstractChecker, ValidityFutureRequestInCommitDetected) {
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      ev(1, EventKind::kInvoke, 0, r1),
+      // r2 invoked only at seq 3, but the commit at seq 2 already
+      // includes it.
+      ev(2, EventKind::kCommit, 0, r1, History{r2, r1}),
+      ev(3, EventKind::kInvoke, 1, r2),
+      ev(4, EventKind::kCommit, 1, r2, History{r2, r1}),
+  });
+  const auto result = check_abstract_trace(t);
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.error.find("invoked after"), std::string::npos);
+}
+
+TEST(AbstractChecker, LaxAbortValidityAllowsLaterAborts) {
+  // An early abort's history may include requests invoked later (the
+  // Lemma-4 construction); the lax mode accepts, strict mode rejects.
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      ev(1, EventKind::kInvoke, 0, r1),
+      ev(2, EventKind::kAbort, 0, r1, History{r1, r2}),
+      ev(3, EventKind::kInvoke, 1, r2),
+      ev(4, EventKind::kAbort, 1, r2, History{r1, r2}),
+  });
+  AbstractCheckOptions lax;
+  EXPECT_TRUE(check_abstract_trace(t, lax));
+  AbstractCheckOptions strict;
+  strict.strict_abort_validity = true;
+  EXPECT_FALSE(check_abstract_trace(t, strict));
+}
+
+TEST(AbstractChecker, HasDuplicatesHelper) {
+  // History::append rejects duplicates at construction time, so the
+  // checker's duplicate scan can only fire on hand-built histories;
+  // verify the helper it relies on.
+  History h{req(1), req(2)};
+  EXPECT_FALSE(h.has_duplicates());
+}
+
+TEST(AbstractChecker, TerminationRequiresResponses) {
+  const Request r1 = req(1, 0);
+  Trace t({ev(1, EventKind::kInvoke, 0, r1)});
+  const auto result = check_abstract_trace(t);
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.error.find("Termination"), std::string::npos);
+
+  AbstractCheckOptions opts;
+  opts.crashed.insert(0);
+  EXPECT_TRUE(check_abstract_trace(t, opts));
+}
+
+TEST(AbstractChecker, ResponseHistoryMustContainOwnRequest) {
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      ev(1, EventKind::kInvoke, 0, r1),
+      ev(2, EventKind::kInvoke, 1, r2),
+      ev(3, EventKind::kCommit, 0, r1, History{r2}),
+      ev(4, EventKind::kCommit, 1, r2, History{r2}),
+  });
+  const auto result = check_abstract_trace(t);
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.error.find("omits its own request"), std::string::npos);
+}
+
+TEST(AbstractChecker, InitOrderingEnforced) {
+  const Request r1 = req(1, 0), r2 = req(2, 1), r3 = req(3, 2);
+  // Two inits sharing the common prefix [r1]; a commit whose history
+  // does not start with r1 violates Init Ordering.
+  Trace t({
+      ev(1, EventKind::kInit, 0, r2, History{r1, r2}),
+      ev(2, EventKind::kInit, 1, r3, History{r1, r3}),
+      ev(3, EventKind::kCommit, 0, r2, History{r2, r1}),
+      ev(4, EventKind::kCommit, 1, r3, History{r2, r1, r3}),
+  });
+  const auto result = check_abstract_trace(t);
+  EXPECT_FALSE(result);
+  EXPECT_NE(result.error.find("Init Ordering"), std::string::npos);
+}
+
+TEST(AbstractChecker, InitOrderingSatisfiedWhenPrefixRespected) {
+  const Request r1 = req(1, 0), r2 = req(2, 1), r3 = req(3, 2);
+  Trace t({
+      ev(1, EventKind::kInit, 0, r2, History{r1, r2}),
+      ev(2, EventKind::kInit, 1, r3, History{r1, r3}),
+      ev(3, EventKind::kCommit, 0, r2, History{r1, r2}),
+      ev(4, EventKind::kCommit, 1, r3, History{r1, r2, r3}),
+  });
+  EXPECT_TRUE(check_abstract_trace(t));
+}
+
+TEST(AbstractChecker, DoubleResponseDetected) {
+  const Request r1 = req(1, 0);
+  Trace t({
+      ev(1, EventKind::kInvoke, 0, r1),
+      ev(2, EventKind::kCommit, 0, r1, History{r1}),
+      ev(3, EventKind::kCommit, 0, r1, History{r1}),
+  });
+  EXPECT_FALSE(check_abstract_trace(t));
+}
+
+}  // namespace
+}  // namespace scm

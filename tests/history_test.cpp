@@ -1,0 +1,173 @@
+// Unit tests for requests, histories, sequential specs, β evaluators
+// and the ≡_I equivalence (Sections 3 and 5).
+#include <gtest/gtest.h>
+
+#include "history/history.hpp"
+#include "history/request.hpp"
+#include "history/specs.hpp"
+
+namespace scm {
+namespace {
+
+Request req(std::uint64_t id, ProcessId p = 0, std::int64_t op = 0,
+            std::int64_t arg = 0) {
+  return Request{id, p, op, arg};
+}
+
+TEST(History, AppendAndContains) {
+  History h;
+  EXPECT_TRUE(h.empty());
+  h.append(req(1));
+  h.append(req(2));
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_TRUE(h.contains(1));
+  EXPECT_TRUE(h.contains(2));
+  EXPECT_FALSE(h.contains(3));
+  EXPECT_EQ(h.index_of(2), 1u);
+  EXPECT_EQ(h.index_of(9), std::nullopt);
+}
+
+TEST(History, AppendIfAbsent) {
+  History h;
+  EXPECT_TRUE(h.append_if_absent(req(1)));
+  EXPECT_FALSE(h.append_if_absent(req(1)));
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(History, DuplicateAppendAborts) {
+  History h;
+  h.append(req(7));
+  EXPECT_DEATH(h.append(req(7)), "duplicate");
+}
+
+TEST(History, PrefixRelations) {
+  History a{req(1), req(2)};
+  History b{req(1), req(2), req(3)};
+  History c{req(1), req(3)};
+  EXPECT_TRUE(a.prefix_of(a));
+  EXPECT_FALSE(a.strict_prefix_of(a));
+  EXPECT_TRUE(a.prefix_of(b));
+  EXPECT_TRUE(a.strict_prefix_of(b));
+  EXPECT_FALSE(b.prefix_of(a));
+  EXPECT_FALSE(c.prefix_of(b));
+  EXPECT_TRUE(History{}.prefix_of(a));
+}
+
+TEST(History, PrefixExtraction) {
+  History b{req(1), req(2), req(3)};
+  EXPECT_EQ(b.prefix(2), (History{req(1), req(2)}));
+  EXPECT_EQ(b.prefix(9), b);
+  auto through = b.prefix_through(2);
+  ASSERT_TRUE(through.has_value());
+  EXPECT_EQ(*through, (History{req(1), req(2)}));
+  EXPECT_EQ(b.prefix_through(42), std::nullopt);
+}
+
+TEST(History, CommonPrefix) {
+  History a{req(1), req(2), req(3)};
+  History b{req(1), req(2), req(4)};
+  EXPECT_EQ(History::common_prefix(a, b), (History{req(1), req(2)}));
+  EXPECT_EQ(History::common_prefix(a, History{}), History{});
+}
+
+TEST(History, Concat) {
+  History a{req(1)};
+  History b{req(2), req(3)};
+  EXPECT_EQ(a.concat(b), (History{req(1), req(2), req(3)}));
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(TasSpec, FirstRequestWinsRestLose) {
+  History h{req(1), req(2), req(3)};
+  EXPECT_EQ(beta<TasSpec>(h, 1), TasSpec::kWinner);
+  EXPECT_EQ(beta<TasSpec>(h, 2), TasSpec::kLoser);
+  EXPECT_EQ(beta<TasSpec>(h, 3), TasSpec::kLoser);
+  EXPECT_EQ(beta<TasSpec>(h), TasSpec::kLoser);      // last response
+  EXPECT_EQ(beta<TasSpec>(History{req(9)}), TasSpec::kWinner);
+}
+
+TEST(TasSpec, BetaOfEmptyHistory) {
+  EXPECT_EQ(beta<TasSpec>(History{}), kNoResponse);
+  EXPECT_EQ(beta<TasSpec>(History{}, 1), kNoResponse);
+}
+
+TEST(ConsensusSpec, FirstProposalDecides) {
+  History h{req(1, 0, ConsensusSpec::kPropose, 42),
+            req(2, 1, ConsensusSpec::kPropose, 7)};
+  EXPECT_EQ(beta<ConsensusSpec>(h, 1), 42);
+  EXPECT_EQ(beta<ConsensusSpec>(h, 2), 42);
+}
+
+TEST(CounterSpec, FetchIncSequence) {
+  History h{req(1, 0, CounterSpec::kFetchInc),
+            req(2, 0, CounterSpec::kFetchInc),
+            req(3, 0, CounterSpec::kRead)};
+  EXPECT_EQ(beta<CounterSpec>(h, 1), 0);
+  EXPECT_EQ(beta<CounterSpec>(h, 2), 1);
+  EXPECT_EQ(beta<CounterSpec>(h, 3), 2);
+}
+
+TEST(QueueSpec, FifoOrder) {
+  History h{req(1, 0, QueueSpec::kEnqueue, 10),
+            req(2, 0, QueueSpec::kEnqueue, 20),
+            req(3, 1, QueueSpec::kDequeue),
+            req(4, 1, QueueSpec::kDequeue),
+            req(5, 1, QueueSpec::kDequeue)};
+  EXPECT_EQ(beta<QueueSpec>(h, 3), 10);
+  EXPECT_EQ(beta<QueueSpec>(h, 4), 20);
+  EXPECT_EQ(beta<QueueSpec>(h, 5), QueueSpec::kEmpty);
+}
+
+TEST(RegisterSpec, ReadsSeeLatestWrite) {
+  History h{req(1, 0, RegisterSpec::kWrite, 5),
+            req(2, 1, RegisterSpec::kRead),
+            req(3, 0, RegisterSpec::kWrite, 9),
+            req(4, 1, RegisterSpec::kRead)};
+  EXPECT_EQ(beta<RegisterSpec>(h, 2), 5);
+  EXPECT_EQ(beta<RegisterSpec>(h, 4), 9);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Equivalence, TasHistoriesWithSameWinnerAreEquivalent) {
+  // h1 and h2 contain {1,2,3} with the same winner but losers swapped:
+  // equivalent under I = {2, 3} (same responses, same final state).
+  const Request r1 = req(1), r2 = req(2), r3 = req(3);
+  History h1{r1, r2, r3};
+  History h2{r1, r3, r2};
+  const std::vector<Request> I{r2, r3};
+  EXPECT_TRUE(equivalent_under<TasSpec>(h1, h2, I));
+}
+
+TEST(Equivalence, TasHistoriesWithDifferentWinnersDiffer) {
+  const Request r1 = req(1), r2 = req(2);
+  History h1{r1, r2};
+  History h2{r2, r1};
+  const std::vector<Request> I{r1, r2};
+  EXPECT_FALSE(equivalent_under<TasSpec>(h1, h2, I));
+}
+
+TEST(Equivalence, RequiresContainment) {
+  const Request r1 = req(1), r2 = req(2);
+  History h1{r1};
+  History h2{r1, r2};
+  const std::vector<Request> I{r2};
+  EXPECT_FALSE(equivalent_under<TasSpec>(h1, h2, I));
+}
+
+TEST(Equivalence, CounterHistoriesDistinguishedByState) {
+  const Request a = req(1, 0, CounterSpec::kFetchInc);
+  const Request b = req(2, 0, CounterSpec::kFetchInc);
+  History h1{a, b};
+  History h2{b, a};
+  // Same final state (2 increments) but responses to a and b swap.
+  EXPECT_FALSE(
+      equivalent_under<CounterSpec>(h1, h2, std::vector<Request>{a, b}));
+  // Under I = {} only final-state equality matters.
+  EXPECT_TRUE(
+      equivalent_under<CounterSpec>(h1, h2, std::vector<Request>{}));
+}
+
+}  // namespace
+}  // namespace scm

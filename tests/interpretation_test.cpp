@@ -1,0 +1,252 @@
+// Tests for the Definition-2 (safe composability) interpretation
+// checker and the TAS constraint function of Definition 3, on
+// hand-built traces with known verdicts.
+#include <gtest/gtest.h>
+
+#include "core/constraint.hpp"
+#include "core/interpretation.hpp"
+#include "history/specs.hpp"
+
+namespace scm {
+namespace {
+
+Request req(std::uint64_t id, ProcessId p = 0) { return Request{id, p, 0, 0}; }
+
+TraceEvent invoke(std::uint64_t seq, ProcessId pid, Request r) {
+  TraceEvent e;
+  e.seq = seq;
+  e.kind = EventKind::kInvoke;
+  e.pid = pid;
+  e.request = r;
+  return e;
+}
+
+TraceEvent commit(std::uint64_t seq, ProcessId pid, Request r, Response resp) {
+  TraceEvent e;
+  e.seq = seq;
+  e.kind = EventKind::kCommit;
+  e.pid = pid;
+  e.request = r;
+  e.response = resp;
+  return e;
+}
+
+TraceEvent abort_ev(std::uint64_t seq, ProcessId pid, Request r,
+                    SwitchValue v) {
+  TraceEvent e;
+  e.seq = seq;
+  e.kind = EventKind::kAbort;
+  e.pid = pid;
+  e.request = r;
+  e.switch_value = v;
+  return e;
+}
+
+TraceEvent init_ev(std::uint64_t seq, ProcessId pid, Request r,
+                   SwitchValue v) {
+  TraceEvent e;
+  e.seq = seq;
+  e.kind = EventKind::kInit;
+  e.pid = pid;
+  e.request = r;
+  e.switch_value = v;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// TasConstraint (Definition 3)
+
+TEST(TasConstraint, WithWTokenHeadMustBeAWAbortedRequest) {
+  TasConstraint M;
+  const Request r1 = req(1), r2 = req(2);
+  std::vector<SwitchToken> tokens{{r1, TasConstraint::kW},
+                                  {r2, TasConstraint::kL}};
+  EXPECT_TRUE(M.contains(tokens, History{r1, r2}));
+  EXPECT_FALSE(M.contains(tokens, History{r2, r1}));  // head is L-token
+  EXPECT_FALSE(M.contains(tokens, History{r1}));      // missing r2
+}
+
+TEST(TasConstraint, WithoutWTokenHeadMustBeOutsideTokens) {
+  TasConstraint M;
+  const Request r1 = req(1), r2 = req(2), r3 = req(3);
+  std::vector<SwitchToken> tokens{{r1, TasConstraint::kL}};
+  EXPECT_FALSE(M.contains(tokens, History{r1}));
+  EXPECT_FALSE(M.contains(tokens, History{r1, r2}));
+  EXPECT_TRUE(M.contains(tokens, History{r2, r1}));
+  EXPECT_TRUE(M.contains(tokens, History{r3, r1, r2}));
+  EXPECT_FALSE(M.contains(tokens, History{}));
+}
+
+TEST(TasConstraint, EmptyTokenSetAllowsAnyNonEmptyHistory) {
+  TasConstraint M;
+  EXPECT_TRUE(M.contains({}, History{req(5)}));
+  EXPECT_FALSE(M.contains({}, History{}));
+}
+
+TEST(TasConstraint, CandidatesEnumerateUniverse) {
+  TasConstraint M;
+  const Request r1 = req(1), r2 = req(2);
+  std::vector<Request> universe{r1, r2};
+  std::vector<SwitchToken> tokens{{r1, TasConstraint::kW}};
+  const auto cands = M.candidates(tokens, universe);
+  // Histories headed by r1 containing r1: [r1], [r1 r2].
+  EXPECT_EQ(cands.size(), 2u);
+  for (const History& h : cands) EXPECT_EQ(h.head().id, 1u);
+}
+
+TEST(EnumerateHistories, CountsMatchFactorialSums) {
+  std::vector<Request> universe{req(1), req(2), req(3)};
+  // 3 singletons + 6 pairs + 6 triples = 15.
+  EXPECT_EQ(enumerate_histories(universe).size(), 15u);
+}
+
+// ---------------------------------------------------------------------------
+// Definition-2 checking on hand-built traces
+
+TEST(Composability, SoloWinnerTracePasses) {
+  // One process invokes and commits winner: interpretation exists
+  // ([r1] itself).
+  const Request r1 = req(1, 0);
+  Trace t({invoke(1, 0, r1), commit(2, 0, r1, TasSpec::kWinner)});
+  TasConstraint M;
+  EXPECT_TRUE(check_safely_composable<TasSpec>(t, M));
+}
+
+TEST(Composability, WinnerAndLoserTracePasses) {
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      invoke(1, 0, r1),
+      commit(2, 0, r1, TasSpec::kWinner),
+      invoke(3, 1, r2),
+      commit(4, 1, r2, TasSpec::kLoser),
+  });
+  TasConstraint M;
+  EXPECT_TRUE(check_safely_composable<TasSpec>(t, M));
+}
+
+TEST(Composability, TwoWinnersFail) {
+  // Two winner commits cannot be interpreted: no TAS history yields
+  // winner twice.
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      invoke(1, 0, r1),
+      commit(2, 0, r1, TasSpec::kWinner),
+      invoke(3, 1, r2),
+      commit(4, 1, r2, TasSpec::kWinner),
+  });
+  TasConstraint M;
+  EXPECT_FALSE(check_safely_composable<TasSpec>(t, M));
+}
+
+TEST(Composability, LoserBeforeAnyWinnerNeedsPendingRequest) {
+  // A lone loser commit is interpretable only if some other request
+  // can be placed before it — here p1's request is invoked (pending,
+  // e.g. crashed) and can head the history.
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      invoke(1, 1, r2),  // pending forever (crashed process)
+      invoke(2, 0, r1),
+      commit(3, 0, r1, TasSpec::kLoser),
+  });
+  TasConstraint M;
+  ComposabilityCheckOptions opts;
+  opts.crashed.insert(1);
+  EXPECT_TRUE(check_safely_composable<TasSpec>(t, M, opts));
+}
+
+TEST(Composability, LoneLoserWithNoOtherRequestFails) {
+  // Nothing can be placed before the loser: no valid interpretation.
+  const Request r1 = req(1, 0);
+  Trace t({invoke(1, 0, r1), commit(2, 0, r1, TasSpec::kLoser)});
+  TasConstraint M;
+  EXPECT_FALSE(check_safely_composable<TasSpec>(t, M));
+}
+
+TEST(Composability, WAbortTracePasses) {
+  // p0 aborts with W: every equivalence class of M(aborts) is headed
+  // by r1, and habort = [r1] interprets the trace.
+  const Request r1 = req(1, 0);
+  Trace t({invoke(1, 0, r1), abort_ev(2, 0, r1, TasConstraint::kW)});
+  TasConstraint M;
+  EXPECT_TRUE(check_safely_composable<TasSpec>(t, M));
+}
+
+TEST(Composability, TwoWAbortsBothClassesMustBeSatisfiable) {
+  // Two W-aborts: eq(aborts) has one class per candidate head; both
+  // must admit interpretations (they do: no commits constrain them).
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      invoke(1, 0, r1),
+      invoke(2, 1, r2),
+      abort_ev(3, 0, r1, TasConstraint::kW),
+      abort_ev(4, 1, r2, TasConstraint::kW),
+  });
+  TasConstraint M;
+  EXPECT_TRUE(check_safely_composable<TasSpec>(t, M));
+}
+
+TEST(Composability, WinnerCommitPlusWAbortFails) {
+  // If p0 commits winner and p1 aborts with W, the class of histories
+  // headed by r2 cannot be interpreted (Invariant 2 of Lemma 4: a
+  // winner commit excludes W-aborts). The module would be unsafe.
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      invoke(1, 0, r1),
+      invoke(2, 1, r2),
+      commit(3, 0, r1, TasSpec::kWinner),
+      abort_ev(4, 1, r2, TasConstraint::kW),
+  });
+  TasConstraint M;
+  EXPECT_FALSE(check_safely_composable<TasSpec>(t, M));
+}
+
+TEST(Composability, LAbortAfterLoserCommitPasses) {
+  const Request r1 = req(1, 0), r2 = req(2, 1), r3 = req(3, 2);
+  Trace t({
+      invoke(1, 0, r1),
+      invoke(2, 1, r2),
+      commit(3, 1, r2, TasSpec::kLoser),   // r1 must be the winner
+      abort_ev(4, 0, r1, TasConstraint::kW),
+      invoke(5, 2, r3),
+      abort_ev(6, 2, r3, TasConstraint::kL),
+  });
+  TasConstraint M;
+  EXPECT_TRUE(check_safely_composable<TasSpec>(t, M));
+}
+
+TEST(Composability, InitializedTracePasses) {
+  // A module initialized with a W switch token for r1 (from a previous
+  // module's abort); p1 then commits loser, consistent with r1 winning.
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      init_ev(1, 0, r1, TasConstraint::kW),
+      invoke(2, 1, r2),
+      commit(3, 0, r1, TasSpec::kWinner),
+      commit(4, 1, r2, TasSpec::kLoser),
+  });
+  TasConstraint M;
+  EXPECT_TRUE(check_safely_composable<TasSpec>(t, M));
+}
+
+TEST(Composability, InitializedTraceContradictionFails) {
+  // Initialized with W for r1 (meaning: if anyone won already it is
+  // r1), but then r2 commits winner — inconsistent with every init
+  // history, because init histories are headed by r1 and must prefix
+  // every commit history.
+  const Request r1 = req(1, 0), r2 = req(2, 1);
+  Trace t({
+      init_ev(1, 0, r1, TasConstraint::kW),
+      invoke(2, 1, r2),
+      commit(3, 1, r2, TasSpec::kWinner),
+  });
+  TasConstraint M;
+  EXPECT_FALSE(check_safely_composable<TasSpec>(t, M));
+}
+
+TEST(Composability, EmptyTracePasses) {
+  TasConstraint M;
+  EXPECT_TRUE(check_safely_composable<TasSpec>(Trace{}, M));
+}
+
+}  // namespace
+}  // namespace scm

@@ -1,0 +1,173 @@
+// Tests for the Wing-Gong linearizability checker on hand-built
+// concurrent histories with known verdicts.
+#include <gtest/gtest.h>
+
+#include "history/specs.hpp"
+#include "lincheck/lincheck.hpp"
+
+namespace scm {
+namespace {
+
+ConcurrentOp op(ProcessId pid, std::uint64_t id, std::int64_t opcode,
+                std::int64_t arg, Response resp, std::uint64_t invoke,
+                std::uint64_t ret, bool completed = true) {
+  ConcurrentOp o;
+  o.pid = pid;
+  o.request = Request{id, pid, opcode, arg};
+  o.response = resp;
+  o.invoke = invoke;
+  o.ret = ret;
+  o.completed = completed;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// TAS histories
+
+TEST(Lincheck, SequentialTasWinnerThenLoser) {
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, TasSpec::kTestAndSet, 0, TasSpec::kWinner, 1, 2),
+      op(1, 2, TasSpec::kTestAndSet, 0, TasSpec::kLoser, 3, 4),
+  };
+  EXPECT_TRUE(linearizable<TasSpec>(ops));
+}
+
+TEST(Lincheck, SequentialTasLoserBeforeWinnerIsNotLinearizable) {
+  // Loser returns before winner is invoked: impossible.
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, TasSpec::kTestAndSet, 0, TasSpec::kLoser, 1, 2),
+      op(1, 2, TasSpec::kTestAndSet, 0, TasSpec::kWinner, 3, 4),
+  };
+  EXPECT_FALSE(linearizable<TasSpec>(ops));
+}
+
+TEST(Lincheck, OverlappingTasEitherOrderAllowed) {
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, TasSpec::kTestAndSet, 0, TasSpec::kLoser, 1, 10),
+      op(1, 2, TasSpec::kTestAndSet, 0, TasSpec::kWinner, 2, 9),
+  };
+  EXPECT_TRUE(linearizable<TasSpec>(ops));
+}
+
+TEST(Lincheck, TwoWinnersNeverLinearizable) {
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, TasSpec::kTestAndSet, 0, TasSpec::kWinner, 1, 10),
+      op(1, 2, TasSpec::kTestAndSet, 0, TasSpec::kWinner, 2, 9),
+  };
+  EXPECT_FALSE(linearizable<TasSpec>(ops));
+}
+
+TEST(Lincheck, PendingOpMayBeTheWinner) {
+  // p0 crashed mid-operation; p1 losing is explained by p0's pending
+  // op linearizing first.
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, TasSpec::kTestAndSet, 0, kNoResponse, 1, 0, false),
+      op(1, 2, TasSpec::kTestAndSet, 0, TasSpec::kLoser, 5, 6),
+  };
+  EXPECT_TRUE(linearizable<TasSpec>(ops));
+}
+
+TEST(Lincheck, LoserWithNoPossibleWinnerFails) {
+  std::vector<ConcurrentOp> ops{
+      op(1, 2, TasSpec::kTestAndSet, 0, TasSpec::kLoser, 5, 6),
+  };
+  EXPECT_FALSE(linearizable<TasSpec>(ops));
+}
+
+// ---------------------------------------------------------------------------
+// Counter histories
+
+TEST(Lincheck, CounterSequential) {
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, CounterSpec::kFetchInc, 0, 0, 1, 2),
+      op(1, 2, CounterSpec::kFetchInc, 0, 1, 3, 4),
+      op(0, 3, CounterSpec::kRead, 0, 2, 5, 6),
+  };
+  EXPECT_TRUE(linearizable<CounterSpec>(ops));
+}
+
+TEST(Lincheck, CounterSkippedValueNotLinearizable) {
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, CounterSpec::kFetchInc, 0, 0, 1, 2),
+      op(1, 2, CounterSpec::kFetchInc, 0, 2, 3, 4),  // skipped 1
+  };
+  EXPECT_FALSE(linearizable<CounterSpec>(ops));
+}
+
+TEST(Lincheck, CounterConcurrentIncsCommute) {
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, CounterSpec::kFetchInc, 0, 1, 1, 10),
+      op(1, 2, CounterSpec::kFetchInc, 0, 0, 2, 9),
+  };
+  EXPECT_TRUE(linearizable<CounterSpec>(ops));
+}
+
+TEST(Lincheck, RealTimeOrderRespectedForCounter) {
+  // p0's inc returned before p1's started, so p0 must see the smaller
+  // value.
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, CounterSpec::kFetchInc, 0, 1, 1, 2),
+      op(1, 2, CounterSpec::kFetchInc, 0, 0, 3, 4),
+  };
+  EXPECT_FALSE(linearizable<CounterSpec>(ops));
+}
+
+// ---------------------------------------------------------------------------
+// Queue histories
+
+TEST(Lincheck, QueueFifoRespected) {
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, QueueSpec::kEnqueue, 10, QueueSpec::kAck, 1, 2),
+      op(0, 2, QueueSpec::kEnqueue, 20, QueueSpec::kAck, 3, 4),
+      op(1, 3, QueueSpec::kDequeue, 0, 10, 5, 6),
+      op(1, 4, QueueSpec::kDequeue, 0, 20, 7, 8),
+  };
+  EXPECT_TRUE(linearizable<QueueSpec>(ops));
+}
+
+TEST(Lincheck, QueueLifoOrderRejected) {
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, QueueSpec::kEnqueue, 10, QueueSpec::kAck, 1, 2),
+      op(0, 2, QueueSpec::kEnqueue, 20, QueueSpec::kAck, 3, 4),
+      op(1, 3, QueueSpec::kDequeue, 0, 20, 5, 6),  // out of order
+      op(1, 4, QueueSpec::kDequeue, 0, 10, 7, 8),
+  };
+  EXPECT_FALSE(linearizable<QueueSpec>(ops));
+}
+
+TEST(Lincheck, QueueConcurrentEnqueuesEitherOrder) {
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, QueueSpec::kEnqueue, 10, QueueSpec::kAck, 1, 10),
+      op(1, 2, QueueSpec::kEnqueue, 20, QueueSpec::kAck, 2, 9),
+      op(0, 3, QueueSpec::kDequeue, 0, 20, 11, 12),
+      op(1, 4, QueueSpec::kDequeue, 0, 10, 13, 14),
+  };
+  EXPECT_TRUE(linearizable<QueueSpec>(ops));
+}
+
+// ---------------------------------------------------------------------------
+// Register histories
+
+TEST(Lincheck, RegisterReadsLastWrite) {
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, RegisterSpec::kWrite, 5, RegisterSpec::kAck, 1, 2),
+      op(1, 2, RegisterSpec::kRead, 0, 5, 3, 4),
+  };
+  EXPECT_TRUE(linearizable<RegisterSpec>(ops));
+}
+
+TEST(Lincheck, RegisterStaleReadRejected) {
+  std::vector<ConcurrentOp> ops{
+      op(0, 1, RegisterSpec::kWrite, 5, RegisterSpec::kAck, 1, 2),
+      op(0, 2, RegisterSpec::kWrite, 9, RegisterSpec::kAck, 3, 4),
+      op(1, 3, RegisterSpec::kRead, 0, 5, 5, 6),  // must read 9
+  };
+  EXPECT_FALSE(linearizable<RegisterSpec>(ops));
+}
+
+TEST(Lincheck, EmptyHistoryTriviallyLinearizable) {
+  EXPECT_TRUE(linearizable<TasSpec>({}));
+}
+
+}  // namespace
+}  // namespace scm

@@ -1,0 +1,188 @@
+// Tests for the tournament TAS baseline and the typed universal-object
+// façades (counter, queue).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sim/schedules.hpp"
+#include "sim/sim_platform.hpp"
+#include "sim/simulator.hpp"
+#include "tas/tournament_tas.hpp"
+#include "universal/typed_objects.hpp"
+
+namespace scm {
+namespace {
+
+using sim::SimContext;
+using sim::SimPlatform;
+using sim::Simulator;
+
+// ---------------------------------------------------------------------------
+// TournamentTas
+
+TEST(TournamentTas, SoloProcessWins) {
+  Simulator s;
+  TournamentTas<SimPlatform> tas(4);
+  Response r = -1;
+  s.add_process([&](SimContext& ctx) { r = tas.test_and_set(ctx); });
+  sim::SequentialSchedule sched;
+  s.run(sched);
+  EXPECT_EQ(r, TasSpec::kWinner);
+}
+
+TEST(TournamentTas, ExactlyOneWinnerUnderRandomSchedules) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    for (int n : {2, 3, 5, 8}) {
+      Simulator s;
+      TournamentTas<SimPlatform> tas(n);
+      std::vector<Response> rs(n, -1);
+      for (int p = 0; p < n; ++p) {
+        s.add_process([&, p](SimContext& ctx) { rs[p] = tas.test_and_set(ctx); });
+      }
+      sim::RandomSchedule sched(seed * 37 + n);
+      s.run(sched);
+      EXPECT_EQ(std::count(rs.begin(), rs.end(), TasSpec::kWinner), 1)
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(TournamentTas, StepComplexityIsLogarithmic) {
+  auto solo_steps = [](int n) {
+    Simulator s;
+    TournamentTas<SimPlatform> tas(n);
+    s.add_process([&](SimContext& ctx) { (void)tas.test_and_set(ctx); });
+    sim::SequentialSchedule sched;
+    s.run(sched);
+    return s.counters(0).total();
+  };
+  // Doubling n adds one tree level => constant extra steps, far from
+  // linear growth.
+  const auto s4 = solo_steps(4);
+  const auto s8 = solo_steps(8);
+  const auto s64 = solo_steps(64);
+  EXPECT_GT(s8, s4);
+  EXPECT_LE(s64, s4 * 4);  // log-ish, not linear
+}
+
+TEST(TournamentTas, SoloWinnerPaysRmwPerLevel) {
+  Simulator s;
+  TournamentTas<SimPlatform> tas(8);
+  s.add_process([&](SimContext& ctx) { (void)tas.test_and_set(ctx); });
+  sim::SequentialSchedule sched;
+  s.run(sched);
+  // Unlike the speculative TAS's 0-RMW fast path, the tournament pays a
+  // tie-breaker RMW at every level — the baseline the speculation beats.
+  EXPECT_GE(s.counters(0).rmws, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// UniversalCounter
+
+TEST(UniversalCounter, SequentialSemantics) {
+  Simulator s;
+  UniversalCounter<SimPlatform, 48> counter(2);
+  std::vector<std::int64_t> got;
+  s.add_process([&](SimContext& ctx) {
+    got.push_back(counter.fetch_increment(ctx));
+    got.push_back(counter.fetch_increment(ctx));
+    got.push_back(counter.read(ctx));
+  });
+  s.add_process([&](SimContext& ctx) {
+    got.push_back(counter.fetch_increment(ctx));
+  });
+  sim::SequentialSchedule sched;
+  s.run(sched);
+  EXPECT_EQ(got, (std::vector<std::int64_t>{0, 1, 2, 2}));
+}
+
+TEST(UniversalCounter, UniqueValuesUnderContention) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Simulator s;
+    constexpr int kN = 3;
+    UniversalCounter<SimPlatform, 64> counter(kN);
+    std::vector<std::vector<std::int64_t>> got(kN);
+    for (int p = 0; p < kN; ++p) {
+      s.add_process([&, p](SimContext& ctx) {
+        for (int i = 0; i < 3; ++i) {
+          got[p].push_back(counter.fetch_increment(ctx));
+        }
+      });
+    }
+    sim::RandomSchedule sched(seed * 11 + 2);
+    s.run(sched);
+    std::set<std::int64_t> all;
+    for (const auto& rs : got) {
+      for (auto v : rs) EXPECT_TRUE(all.insert(v).second) << "dup " << v;
+    }
+    EXPECT_EQ(all.size(), static_cast<std::size_t>(kN * 3));
+    EXPECT_EQ(*all.begin(), 0);
+    EXPECT_EQ(*all.rbegin(), kN * 3 - 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UniversalQueue
+
+TEST(UniversalQueue, FifoSequential) {
+  Simulator s;
+  UniversalQueue<SimPlatform, 48> queue(2);
+  std::vector<std::int64_t> deqs;
+  s.add_process([&](SimContext& ctx) {
+    queue.enqueue(ctx, 10);
+    queue.enqueue(ctx, 20);
+    queue.enqueue(ctx, 30);
+  });
+  s.add_process([&](SimContext& ctx) {
+    deqs.push_back(queue.dequeue(ctx));
+    deqs.push_back(queue.dequeue(ctx));
+    deqs.push_back(queue.dequeue(ctx));
+    deqs.push_back(queue.dequeue(ctx));
+  });
+  sim::SequentialSchedule sched;
+  s.run(sched);
+  EXPECT_EQ(deqs, (std::vector<std::int64_t>{
+                      10, 20, 30, UniversalQueue<SimPlatform, 48>::kEmpty}));
+}
+
+TEST(UniversalQueue, NoLostOrDuplicatedItemsUnderContention) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Simulator s;
+    constexpr int kProducers = 2;
+    constexpr int kItemsEach = 3;
+    UniversalQueue<SimPlatform, 64> queue(kProducers + 1);
+    std::vector<std::int64_t> deqs;
+    for (int p = 0; p < kProducers; ++p) {
+      s.add_process([&, p](SimContext& ctx) {
+        for (int i = 0; i < kItemsEach; ++i) {
+          queue.enqueue(ctx, p * 100 + i);
+        }
+      });
+    }
+    s.add_process([&](SimContext& ctx) {
+      for (int i = 0; i < kProducers * kItemsEach + 2; ++i) {
+        const auto v = queue.dequeue(ctx);
+        if (v != QueueSpec::kEmpty) deqs.push_back(v);
+      }
+    });
+    sim::RandomSchedule sched(seed * 13 + 5);
+    s.run(sched);
+    // No duplicates; per-producer order preserved among dequeued items.
+    std::set<std::int64_t> unique(deqs.begin(), deqs.end());
+    EXPECT_EQ(unique.size(), deqs.size()) << "duplicate dequeue";
+    for (int p = 0; p < kProducers; ++p) {
+      std::int64_t last = -1;
+      for (auto v : deqs) {
+        if (v / 100 == p) {
+          EXPECT_GT(v, last) << "producer order broken";
+          last = v;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scm
