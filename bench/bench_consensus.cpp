@@ -1,21 +1,18 @@
-// E5 — Cost of the abortable consensus building blocks (Appendix A).
+// Scenario consensus.cost (E5) — cost of the abortable consensus
+// building blocks (Appendix A).
 //
 // Claims regenerated:
 //  * SplitConsensus: O(1) fast path, independent of n; registers only;
 //    commits in the absence of interval contention;
 //  * AbortableBakery: Θ(n) fast path (three collects over n slots);
-//    registers only; commits in the absence of step contention — and
-//    the Ω(log n)-style growth separating it from the O(1) splitter
-//    path is visible directly in the step counts [6];
+//    registers only; commits in the absence of step contention;
 //  * CasConsensus: 1 RMW, wait-free, but consensus number ∞ — the cost
 //    Proposition 2 says is unavoidable for wait-free universality.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
 #include <memory>
+#include <vector>
 
-#include "runtime/platform.hpp"
-#include "support/table.hpp"
+#include "bench/registry.hpp"
+#include "bench/scenario.hpp"
 #include "consensus/abortable_bakery.hpp"
 #include "consensus/cas_consensus.hpp"
 #include "consensus/split_consensus.hpp"
@@ -26,6 +23,7 @@
 namespace {
 
 using namespace scm;
+using namespace scm::bench;
 using sim::SimContext;
 using sim::SimPlatform;
 using sim::Simulator;
@@ -52,8 +50,11 @@ StepCounters solo_steps(int n) {
 }
 
 template <class Cons>
-double abort_rate_contended(int n, int sweeps) {
-  std::uint64_t aborts = 0, ops = 0;
+PhaseMetrics contended_phase(const char* name, int n, int sweeps,
+                             const SchedulePolicy& policy) {
+  PhaseMetrics pm;
+  pm.phase = name;
+  std::uint64_t aborts = 0;
   for (int i = 0; i < sweeps; ++i) {
     Simulator s;
     Cons cons = make_cons<Cons>(n);
@@ -64,26 +65,47 @@ double abort_rate_contended(int n, int sweeps) {
         aborted[p] = r.committed() ? 0 : 1;
       });
     }
-    sim::RandomSchedule sched(static_cast<std::uint64_t>(i) * 53 + 11);
-    s.run(sched);
-    for (int a : aborted) {
-      aborts += static_cast<std::uint64_t>(a);
-      ++ops;
+    auto sched = policy.make(static_cast<std::uint64_t>(i) * 53 + 11);
+    s.run(*sched);
+    for (int p = 0; p < n; ++p) {
+      aborts += static_cast<std::uint64_t>(aborted[p]);
+      const StepCounters& c = s.counters(static_cast<ProcessId>(p));
+      pm.steps += c.total();
+      pm.rmws += c.rmws;
+      ++pm.ops;
     }
   }
-  return static_cast<double>(aborts) / static_cast<double>(ops);
+  pm.extra["abort_pct"] =
+      pm.ops == 0 ? 0.0
+                  : 100.0 * static_cast<double>(aborts) /
+                        static_cast<double>(pm.ops);
+  return pm;
 }
 
-void print_claim_tables() {
-  std::printf("\nE5 -- abortable consensus: solo step complexity vs n\n\n");
-  Table t({"n", "SplitConsensus steps", "AbortableBakery steps",
-           "CasConsensus steps", "Cas RMWs"});
+ScenarioResult run(const BenchParams& params) {
+  const SchedulePolicy policy =
+      SchedulePolicy::parse(params.schedule, params.seed);
+
+  ScenarioResult result;
+
+  // Solo step complexity vs n — a fixed sweep so the asymptotic claim
+  // is checkable at any --ops.
   std::uint64_t split2 = 0, split32 = 0, bakery2 = 0, bakery32 = 0;
+  const auto solo_phase = [](const char* name, int n, const StepCounters& c) {
+    PhaseMetrics pm;
+    pm.phase = std::string("solo ") + name + " n=" + std::to_string(n);
+    pm.ops = 1;  // one propose
+    pm.steps = c.total();
+    pm.rmws = c.rmws;
+    return pm;
+  };
   for (int n : {2, 4, 8, 16, 32}) {
     const auto sc = solo_steps<SplitConsensus<SimPlatform>>(n);
     const auto bc = solo_steps<AbortableBakery<SimPlatform>>(n);
     const auto cc = solo_steps<CasConsensus<SimPlatform>>(n);
-    t.row(n, sc.total(), bc.total(), cc.total(), cc.rmws);
+    result.phases.push_back(solo_phase("split", n, sc));
+    result.phases.push_back(solo_phase("bakery", n, bc));
+    result.phases.push_back(solo_phase("cas", n, cc));
     if (n == 2) {
       split2 = sc.total();
       bakery2 = bc.total();
@@ -93,66 +115,26 @@ void print_claim_tables() {
       bakery32 = bc.total();
     }
   }
-  t.print(std::cout, "solo (uncontended) steps per propose");
 
-  std::printf("\nE5b -- abort rate under contention (4 processes, 300 random "
-              "schedules)\n\n");
-  Table t2({"implementation", "abort rate %", "progress condition"});
-  t2.row("SplitConsensus",
-         100.0 * abort_rate_contended<SplitConsensus<SimPlatform>>(4, 300),
-         "no interval contention");
-  t2.row("AbortableBakery",
-         100.0 * abort_rate_contended<AbortableBakery<SimPlatform>>(4, 300),
-         "no step contention");
-  t2.row("CasConsensus",
-         100.0 * abort_rate_contended<CasConsensus<SimPlatform>>(4, 300),
-         "wait-free (never aborts)");
-  t2.print(std::cout, "abort rates");
+  // Abort rates under contention at the requested process count.
+  const int n = std::max(2, params.threads);
+  const int sweeps = params.sweeps(2, 4, 300);
+  result.phases.push_back(contended_phase<SplitConsensus<SimPlatform>>(
+      "contended split", n, sweeps, policy));
+  result.phases.push_back(contended_phase<AbortableBakery<SimPlatform>>(
+      "contended bakery", n, sweeps, policy));
+  result.phases.push_back(contended_phase<CasConsensus<SimPlatform>>(
+      "contended cas", n, sweeps, policy));
 
-  const bool split_const = split2 == split32;
-  const bool bakery_linear = bakery32 >= 8 * bakery2;
-  std::printf("\nClaim check: SplitConsensus steps constant in n -> %s; "
-              "AbortableBakery grows linearly (x%0.1f from n=2 to n=32) -> "
-              "%s.\n\n",
-              split_const ? "HOLDS" : "VIOLATED",
-              static_cast<double>(bakery32) /
-                  static_cast<double>(bakery2 == 0 ? 1 : bakery2),
-              bakery_linear ? "HOLDS" : "VIOLATED");
+  result.claim = "SplitConsensus solo steps constant in n; AbortableBakery "
+                 "grows linearly (>=4x from n=2 to n=32)";
+  result.claim_holds = split2 == split32 && bakery32 >= 4 * bakery2;
+  return result;
 }
 
-void BM_SplitConsensus_SoloNative(benchmark::State& state) {
-  NativeContext ctx(0);
-  for (auto _ : state) {
-    SplitConsensus<NativePlatform> cons;
-    benchmark::DoNotOptimize(cons.run(ctx, kBottom, 42));
-  }
-}
-BENCHMARK(BM_SplitConsensus_SoloNative);
-
-void BM_AbortableBakery_SoloNative(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  NativeContext ctx(0);
-  for (auto _ : state) {
-    AbortableBakery<NativePlatform> cons(n);
-    benchmark::DoNotOptimize(cons.run(ctx, kBottom, 42));
-  }
-}
-BENCHMARK(BM_AbortableBakery_SoloNative)->Arg(2)->Arg(8)->Arg(32);
-
-void BM_CasConsensus_SoloNative(benchmark::State& state) {
-  NativeContext ctx(0);
-  for (auto _ : state) {
-    CasConsensus<NativePlatform> cons;
-    benchmark::DoNotOptimize(cons.run(ctx, kBottom, 42));
-  }
-}
-BENCHMARK(BM_CasConsensus_SoloNative);
+SCM_BENCH_REGISTER("consensus.cost", "E5",
+                   "abortable consensus building blocks: solo steps vs n, "
+                   "abort rates under contention",
+                   Backend::kSim, run);
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_claim_tables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

@@ -1,4 +1,4 @@
-// E9 — The solo-fast variant (Appendix B).
+// Scenario tas.solofast (E9) — the solo-fast variant (Appendix B).
 //
 // Claim regenerated: in the solo-fast composition a process reverts to
 // the hardware object only when it ITSELF encounters step contention,
@@ -7,18 +7,21 @@
 // flag). We measure, for a bystander process arriving around a
 // contended pair, how often each variant sends the bystander to
 // hardware.
-#include <cstdio>
 #include <memory>
+#include <vector>
 
-#include "support/table.hpp"
+#include "bench/registry.hpp"
+#include "bench/scenario.hpp"
 #include "sim/schedules.hpp"
 #include "sim/sim_platform.hpp"
 #include "sim/simulator.hpp"
+#include "support/rng.hpp"
 #include "tas/speculative_tas.hpp"
 
 namespace {
 
 using namespace scm;
+using namespace scm::bench;
 using sim::SimContext;
 using sim::SimPlatform;
 using sim::Simulator;
@@ -27,15 +30,30 @@ Request tas_req(std::uint64_t id, ProcessId p) {
   return Request{id, p, TasSpec::kTestAndSet, 0};
 }
 
-struct Usage {
-  int contender_hw = 0;   // hardware uses by the contended pair
-  int bystander_hw = 0;   // hardware uses by the late bystander
-  int runs = 0;
+// Interleaves p0/p1 heavily; the schedule reaches p2 only once the
+// pair has finished.
+class PairFirst final : public sim::Schedule {
+ public:
+  explicit PairFirst(std::uint64_t seed) : rng_(seed) {}
+  ProcessId next(const View& view) override {
+    std::vector<ProcessId> pair;
+    for (ProcessId p : view.runnable) {
+      if (p < 2) pair.push_back(p);
+    }
+    if (!pair.empty()) return pair[rng_.below(pair.size())];
+    return view.runnable.front();
+  }
+
+ private:
+  Rng rng_;
 };
 
 template <class Tas>
-Usage sweep(int sweeps) {
-  Usage u;
+PhaseMetrics sweep(const char* name, int sweeps, std::uint64_t seed,
+                   int* bystander_hw_out) {
+  PhaseMetrics pm;
+  pm.phase = name;
+  int contender_hw = 0, bystander_hw = 0;
   for (int i = 0; i < sweeps; ++i) {
     Simulator s;
     Tas tas;
@@ -43,65 +61,50 @@ Usage sweep(int sweeps) {
     // p0/p1 contend; p2 (the bystander) runs after both finished.
     for (int p = 0; p < 2; ++p) {
       s.add_process([&, p](SimContext& ctx) {
-        outs[p] =
-            tas.test_and_set(ctx, tas_req(static_cast<std::uint64_t>(p) + 1, p));
+        outs[p] = tas.test_and_set(
+            ctx, tas_req(static_cast<std::uint64_t>(p) + 1, p));
       });
     }
     s.add_process([&](SimContext& ctx) {
       outs[2] = tas.test_and_set(ctx, tas_req(3, 2));
     });
-    // Interleave p0/p1 heavily; the schedule reaches p2 only once the
-    // pair has finished (SoloSchedule ordering: prefer lower pids).
-    class PairFirst final : public sim::Schedule {
-     public:
-      explicit PairFirst(std::uint64_t seed) : rng_(seed) {}
-      ProcessId next(const View& view) override {
-        // Among runnable, pick randomly among {0,1}; only fall back to
-        // p2 when the pair is done.
-        std::vector<ProcessId> pair;
-        for (ProcessId p : view.runnable) {
-          if (p < 2) pair.push_back(p);
-        }
-        if (!pair.empty()) return pair[rng_.below(pair.size())];
-        return view.runnable.front();
-      }
-
-     private:
-      Rng rng_;
-    } sched(static_cast<std::uint64_t>(i) * 17 + 3);
+    PairFirst sched(seed + static_cast<std::uint64_t>(i) * 17 + 3);
     s.run(sched);
     for (int p = 0; p < 2; ++p) {
-      if (outs[p].path == TasPath::kHardware) ++u.contender_hw;
+      if (outs[p].path == TasPath::kHardware) ++contender_hw;
     }
-    if (outs[2].path == TasPath::kHardware) ++u.bystander_hw;
-    ++u.runs;
+    if (outs[2].path == TasPath::kHardware) ++bystander_hw;
+    for (int p = 0; p < 3; ++p) {
+      const StepCounters& c = s.counters(static_cast<ProcessId>(p));
+      pm.steps += c.total();
+      pm.rmws += c.rmws;
+      ++pm.ops;
+    }
   }
-  return u;
+  pm.extra["contender_hw_ops"] = static_cast<double>(contender_hw);
+  pm.extra["bystander_hw_ops"] = static_cast<double>(bystander_hw);
+  *bystander_hw_out = bystander_hw;
+  return pm;
 }
+
+ScenarioResult run(const BenchParams& params) {
+  const int sweeps = params.sweeps(1, 16, 300);
+
+  ScenarioResult result;
+  int base_bystander_hw = 0, solofast_bystander_hw = 0;
+  result.phases.push_back(sweep<SpeculativeTas<SimPlatform>>(
+      "base (A1;A2)", sweeps, params.seed, &base_bystander_hw));
+  result.phases.push_back(sweep<SoloFastTas<SimPlatform>>(
+      "solo-fast (App. B)", sweeps, params.seed, &solofast_bystander_hw));
+
+  result.claim = "in the solo-fast variant an uncontended bystander never "
+                 "uses the hardware object (Appendix B)";
+  result.claim_holds = solofast_bystander_hw == 0;
+  return result;
+}
+
+SCM_BENCH_REGISTER("tas.solofast", "E9",
+                   "solo-fast TAS: who pays for contention? (Appendix B)",
+                   Backend::kSim, run);
 
 }  // namespace
-
-int main() {
-  std::printf("\nE9 -- solo-fast TAS: who pays for contention? (Appendix B)\n");
-  std::printf("p0/p1 contend; bystander p2 arrives strictly after them\n\n");
-
-  constexpr int kSweeps = 300;
-  const Usage base = sweep<SpeculativeTas<SimPlatform>>(kSweeps);
-  const Usage solofast = sweep<SoloFastTas<SimPlatform>>(kSweeps);
-
-  Table t({"variant", "runs", "contender hardware ops",
-           "bystander hardware ops"});
-  t.row("base (A1;A2)", base.runs, base.contender_hw, base.bystander_hw);
-  t.row("solo-fast (App. B)", solofast.runs, solofast.contender_hw,
-        solofast.bystander_hw);
-  t.print(std::cout, "hardware usage by role");
-
-  const bool holds = solofast.bystander_hw == 0;
-  std::printf(
-      "\nClaim check: in the solo-fast variant the uncontended bystander\n"
-      "NEVER uses hardware (%d/%d runs) while the base variant may push it\n"
-      "there via the aborted flag (%d/%d runs here) -> %s.\n\n",
-      solofast.bystander_hw, solofast.runs, base.bystander_hw, base.runs,
-      holds ? "HOLDS" : "VIOLATED");
-  return holds ? 0 : 1;
-}

@@ -1,4 +1,5 @@
-// E2 — Abort behaviour of the obstruction-free module A1 (Lemma 6).
+// Scenario tas.abort (E2) — abort behaviour of the obstruction-free
+// module A1 (Lemma 6).
 //
 // Claims regenerated:
 //  * A1 NEVER aborts in the absence of step contention (the progress
@@ -6,11 +7,11 @@
 //    read zero across the whole sweep;
 //  * abort rate tracks the step-contention rate as the scheduler moves
 //    from sequential (stickiness 1.0) to maximally interleaved
-//    (stickiness 0.0).
-#include <cstdio>
+//    (stickiness 0.0) — reported per phase, not part of the claim.
 #include <memory>
 
-#include "support/table.hpp"
+#include "bench/registry.hpp"
+#include "bench/scenario.hpp"
 #include "sim/schedules.hpp"
 #include "sim/sim_platform.hpp"
 #include "sim/simulator.hpp"
@@ -20,6 +21,7 @@
 namespace {
 
 using namespace scm;
+using namespace scm::bench;
 using sim::SimContext;
 using sim::SimPlatform;
 using sim::Simulator;
@@ -28,13 +30,13 @@ Request tas_req(std::uint64_t id, ProcessId p) {
   return Request{id, p, TasSpec::kTestAndSet, 0};
 }
 
-workload::SimMetrics sweep_stickiness(int n, double stickiness,
-                                      int sweeps) {
+workload::SimMetrics sweep_stickiness(int n, double stickiness, int sweeps,
+                                      std::uint64_t seed) {
   workload::SimMetrics total;
   for (int i = 0; i < sweeps; ++i) {
     auto a1 = std::make_shared<ObstructionFreeTas<SimPlatform>>();
-    sim::StickyRandomSchedule sched(static_cast<std::uint64_t>(i) * 131 + 7,
-                                    stickiness);
+    sim::StickyRandomSchedule sched(
+        seed + static_cast<std::uint64_t>(i) * 131 + 7, stickiness);
     total += workload::run_sim(
         n,
         [&](Simulator& s) {
@@ -52,27 +54,37 @@ workload::SimMetrics sweep_stickiness(int n, double stickiness,
   return total;
 }
 
-}  // namespace
+ScenarioResult run(const BenchParams& params) {
+  const int n = params.threads;
+  const int sweeps = params.sweeps(4, 8, 400);
 
-int main() {
-  std::printf("\nE2 -- A1 abort behaviour vs step contention (Lemma 6)\n");
-  std::printf("400 random schedules per row, 4 processes, one op each\n\n");
-
+  ScenarioResult result;
   std::uint64_t violations = 0;
-  Table t({"stickiness", "ops", "step-contended %", "abort %",
-           "aborts in contention-free runs"});
-  for (double stickiness : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
-    const auto m = sweep_stickiness(4, stickiness, 400);
-    t.row(stickiness, m.ops, 100.0 * m.contention_rate(),
-          100.0 * m.abort_rate(), m.aborts_without_step_contention);
+  for (double stickiness : {0.0, 0.5, 0.9, 1.0}) {
+    const workload::SimMetrics m =
+        sweep_stickiness(n, stickiness, sweeps, params.seed);
     violations += m.aborts_without_step_contention;
-  }
-  t.print(std::cout, "A1 abort rate vs schedule interleaving");
 
-  std::printf("\nClaim check (Lemma 6): aborts without step contention = %llu "
-              "(must be 0).\n",
-              static_cast<unsigned long long>(violations));
-  std::printf("Abort rate falls to 0 as the schedule approaches sequential "
-              "execution,\nand rises with the step-contention rate.\n\n");
-  return violations == 0 ? 0 : 1;
+    PhaseMetrics pm;
+    pm.phase = "stickiness=" + std::to_string(stickiness).substr(0, 3);
+    pm.ops = m.ops;
+    pm.steps = m.total_steps;
+    pm.rmws = m.total_rmws;
+    pm.extra["abort_pct"] = 100.0 * m.abort_rate();
+    pm.extra["step_contended_pct"] = 100.0 * m.contention_rate();
+    pm.extra["aborts_without_step_contention"] =
+        static_cast<double>(m.aborts_without_step_contention);
+    result.phases.push_back(std::move(pm));
+  }
+
+  result.claim = "A1 never aborts in executions free of step contention "
+                 "(Lemma 6)";
+  result.claim_holds = violations == 0;
+  return result;
 }
+
+SCM_BENCH_REGISTER("tas.abort", "E2",
+                   "A1 abort behaviour vs step contention (Lemma 6)",
+                   Backend::kSim, run);
+
+}  // namespace

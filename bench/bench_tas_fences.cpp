@@ -1,5 +1,6 @@
-// E4 — Fence/RMW complexity of the TAS implementations (Section 1:
-// "our implementation is optimal in terms of fence complexity [7]").
+// Scenario tas.fences (E4) — fence/RMW complexity of the TAS
+// implementations (Section 1: "our implementation is optimal in terms
+// of fence complexity [7]").
 //
 // "Laws of Order" [7] proves a linearizable TAS must use expensive
 // synchronization (RMW or store-load fence) on some path; optimality
@@ -10,10 +11,10 @@
 //    1 for hardware;
 //  * any operation, any schedule: at most 1 RMW for the composed TAS
 //    (the single hardware fallback), exactly 1 for hardware.
-#include <cstdio>
 #include <memory>
 
-#include "support/table.hpp"
+#include "bench/registry.hpp"
+#include "bench/scenario.hpp"
 #include "sim/schedules.hpp"
 #include "sim/sim_platform.hpp"
 #include "sim/simulator.hpp"
@@ -22,52 +23,13 @@
 namespace {
 
 using namespace scm;
+using namespace scm::bench;
 using sim::SimContext;
 using sim::SimPlatform;
 using sim::Simulator;
 
 Request tas_req(std::uint64_t id, ProcessId p) {
   return Request{id, p, TasSpec::kTestAndSet, 0};
-}
-
-struct RmwStats {
-  std::uint64_t solo_rmws = 0;
-  std::uint64_t max_rmws = 0;
-  double avg_rmws = 0.0;
-};
-
-template <class Tas>
-RmwStats measure(int n, int sweeps) {
-  RmwStats out;
-  {
-    Simulator s;
-    Tas tas;
-    s.add_process([&](SimContext& ctx) { (void)tas.test_and_set(ctx, tas_req(1, 0)); });
-    sim::SequentialSchedule sched;
-    s.run(sched);
-    out.solo_rmws = s.counters(0).rmws;
-  }
-  std::uint64_t total = 0, ops = 0;
-  for (int i = 0; i < sweeps; ++i) {
-    Simulator s;
-    Tas tas;
-    for (int p = 0; p < n; ++p) {
-      s.add_process([&tas, p](SimContext& ctx) {
-        (void)tas.test_and_set(ctx,
-                               tas_req(static_cast<std::uint64_t>(p) + 1, p));
-      });
-    }
-    sim::RandomSchedule sched(static_cast<std::uint64_t>(i) * 977 + 3);
-    s.run(sched);
-    for (int p = 0; p < n; ++p) {
-      const auto rmws = s.counters(static_cast<ProcessId>(p)).rmws;
-      out.max_rmws = std::max(out.max_rmws, rmws);
-      total += rmws;
-      ++ops;
-    }
-  }
-  out.avg_rmws = static_cast<double>(total) / static_cast<double>(ops);
-  return out;
 }
 
 // Bare hardware TAS with the same outer interface.
@@ -81,28 +43,76 @@ struct HardwareOnly {
   sim::SimTas cell;
 };
 
-}  // namespace
+struct RmwStats {
+  std::uint64_t solo_rmws = 0;
+  std::uint64_t max_rmws = 0;
+  PhaseMetrics contended;
+};
 
-int main() {
-  std::printf("\nE4 -- RMW (fence) complexity per test-and-set operation\n");
-  std::printf("(exact counts; 200 random 4-process schedules per row)\n\n");
-
-  Table t({"implementation", "solo RMWs/op", "avg RMWs/op (contended)",
-           "max RMWs/op (any op, any schedule)"});
-  const auto spec = measure<SpeculativeTas<SimPlatform>>(4, 200);
-  t.row("speculative (A1;A2)", spec.solo_rmws, spec.avg_rmws, spec.max_rmws);
-  const auto solofast = measure<SoloFastTas<SimPlatform>>(4, 200);
-  t.row("solo-fast (App. B)", solofast.solo_rmws, solofast.avg_rmws,
-        solofast.max_rmws);
-  const auto hw = measure<HardwareOnly>(4, 200);
-  t.row("hardware TAS", hw.solo_rmws, hw.avg_rmws, hw.max_rmws);
-  t.print(std::cout, "fence complexity");
-
-  const bool ok = spec.solo_rmws == 0 && solofast.solo_rmws == 0 &&
-                  spec.max_rmws <= 1 && solofast.max_rmws <= 1 &&
-                  hw.solo_rmws == 1;
-  std::printf("\nClaim check: speculative/solo-fast pay 0 RMWs uncontended and\n"
-              "at most 1 ever; hardware always pays 1. -> %s\n\n",
-              ok ? "HOLDS" : "VIOLATED");
-  return ok ? 0 : 1;
+template <class Tas>
+RmwStats measure(const char* name, int n, int sweeps,
+                 const SchedulePolicy& policy) {
+  RmwStats out;
+  out.contended.phase = name;
+  {
+    Simulator s;
+    Tas tas;
+    s.add_process(
+        [&](SimContext& ctx) { (void)tas.test_and_set(ctx, tas_req(1, 0)); });
+    sim::SequentialSchedule sched;
+    s.run(sched);
+    out.solo_rmws = s.counters(0).rmws;
+  }
+  for (int i = 0; i < sweeps; ++i) {
+    Simulator s;
+    Tas tas;
+    for (int p = 0; p < n; ++p) {
+      s.add_process([&tas, p](SimContext& ctx) {
+        (void)tas.test_and_set(ctx,
+                               tas_req(static_cast<std::uint64_t>(p) + 1, p));
+      });
+    }
+    auto sched = policy.make(static_cast<std::uint64_t>(i) * 977 + 3);
+    s.run(*sched);
+    for (int p = 0; p < n; ++p) {
+      const StepCounters& c = s.counters(static_cast<ProcessId>(p));
+      out.max_rmws = std::max(out.max_rmws, c.rmws);
+      out.contended.steps += c.total();
+      out.contended.rmws += c.rmws;
+      ++out.contended.ops;
+    }
+  }
+  out.contended.extra["solo_rmws"] = static_cast<double>(out.solo_rmws);
+  out.contended.extra["max_rmws_per_op"] = static_cast<double>(out.max_rmws);
+  return out;
 }
+
+ScenarioResult run(const BenchParams& params) {
+  const SchedulePolicy policy =
+      SchedulePolicy::parse(params.schedule, params.seed);
+  const int n = params.threads;
+  const int sweeps = params.sweeps(1, 8, 200);
+
+  const auto spec =
+      measure<SpeculativeTas<SimPlatform>>("speculative (A1;A2)", n, sweeps,
+                                           policy);
+  const auto solofast =
+      measure<SoloFastTas<SimPlatform>>("solo-fast (App. B)", n, sweeps,
+                                        policy);
+  const auto hw = measure<HardwareOnly>("hardware TAS", n, sweeps, policy);
+
+  ScenarioResult result;
+  result.phases = {spec.contended, solofast.contended, hw.contended};
+  result.claim = "speculative/solo-fast pay 0 RMWs uncontended and at most "
+                 "1 ever; hardware always pays 1";
+  result.claim_holds = spec.solo_rmws == 0 && solofast.solo_rmws == 0 &&
+                       spec.max_rmws <= 1 && solofast.max_rmws <= 1 &&
+                       hw.solo_rmws == 1;
+  return result;
+}
+
+SCM_BENCH_REGISTER("tas.fences", "E4",
+                   "RMW (fence) complexity per test-and-set operation",
+                   Backend::kSim, run);
+
+}  // namespace

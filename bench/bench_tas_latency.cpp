@@ -1,30 +1,29 @@
-// E3 — Native latency of the speculative TAS vs the hardware baseline
-// (Introduction / Section 6: "combines lightweight components ... with
-// a hardware TAS object at no cost").
+// Scenario tas.latency (E3) — native latency of the speculative TAS vs
+// the hardware baseline (Introduction / Section 6: "combines
+// lightweight components ... with a hardware TAS object at no cost").
 //
 // Claims regenerated (shape, not absolute numbers):
 //  * single-threaded (the biased / owner regime), the speculative
-//    object is competitive with — and avoids the RMW of — raw hardware
-//    TAS;
+//    object avoids the RMW of raw hardware TAS entirely;
 //  * under multi-threaded contention the composed object tracks the
 //    hardware object within a small constant factor (the wait-free
 //    fallback), rather than degrading;
 //  * RMWs per operation: ~0 uncontended, ≤1 contended for the
-//    speculative object; always 1 for hardware.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
+//    speculative object; always 1+ for hardware.
 #include <memory>
-#include <mutex>
+#include <thread>
+#include <vector>
 
+#include "bench/registry.hpp"
+#include "bench/scenario.hpp"
 #include "runtime/platform.hpp"
-#include "support/table.hpp"
 #include "tas/long_lived_tas.hpp"
 #include "workload/driver.hpp"
 
 namespace {
 
 using namespace scm;
+using namespace scm::bench;
 
 constexpr std::size_t kPool = 1 << 14;  // recycled rounds
 
@@ -56,100 +55,61 @@ class HardwareLongLivedTas {
   NativeRegister<std::uint64_t> round_{0};
 };
 
-struct Row {
-  int threads;
-  double spec_ns, spec_rmws;
-  double hw_ns, hw_rmws;
-};
-
 // Win-reset workload: each op tries the TAS; the winner resets so the
 // object is reused. Losers just continue (they will win eventually by
 // round advancement).
-Row measure(int threads, std::uint64_t ops) {
-  Row row{};
-  row.threads = threads;
-  {
-    LongLivedTas<NativePlatform> tas(threads, kPool, /*recycle=*/true);
-    const auto r = workload::run_threads(
-        threads, ops, [&](NativeContext& ctx, std::uint64_t i) {
-          if (tas.test_and_set(ctx, tas_req(ctx.id(), i)).won()) {
-            tas.reset(ctx);
-          }
-        });
-    row.spec_ns = r.ns_per_op();
-    row.spec_rmws = r.rmws_per_op();
-  }
-  {
-    HardwareLongLivedTas tas(threads, kPool);
-    const auto r = workload::run_threads(
-        threads, ops, [&](NativeContext& ctx, std::uint64_t) {
-          if (tas.test_and_set(ctx)) tas.reset(ctx);
-        });
-    row.hw_ns = r.ns_per_op();
-    row.hw_rmws = r.rmws_per_op();
-  }
-  return row;
-}
+ScenarioResult run(const BenchParams& params) {
+  ScenarioResult result;
 
-void print_claim_tables() {
-  std::printf("\nE3 -- native win/reset latency: speculative vs hardware "
-              "long-lived TAS\n\n");
-  Table t({"threads", "speculative ns/op", "spec RMWs/op", "hardware ns/op",
-           "hw RMWs/op"});
+  std::vector<int> thread_counts{1};
   const unsigned hc = std::thread::hardware_concurrency();
-  for (int threads : {1, 2, 4, 8}) {
-    if (hc != 0 && threads > static_cast<int>(hc)) break;
-    const Row r = measure(threads, threads == 1 ? 400'000 : 100'000);
-    t.row(r.threads, r.spec_ns, r.spec_rmws, r.hw_ns, r.hw_rmws);
+  for (int t = 2; t <= params.threads; t *= 2) {
+    if (hc != 0 && t > static_cast<int>(hc)) break;
+    thread_counts.push_back(t);
   }
-  t.print(std::cout, "win/reset throughput (recycled round pool)");
-  std::printf(
-      "\nClaim check: at 1 thread the speculative object performs ~0 RMWs/op\n"
-      "(register fast path) vs 1+ for hardware; under contention it reverts\n"
-      "to the hardware path (RMWs/op -> ~1) and remains within a small\n"
-      "factor of the raw hardware object.\n\n");
-}
+  // Honor a non-power-of-two --threads rather than silently dropping it.
+  if (params.threads > 1 && thread_counts.back() != params.threads &&
+      (hc == 0 || params.threads <= static_cast<int>(hc))) {
+    thread_counts.push_back(params.threads);
+  }
 
-void BM_Speculative_WinReset(benchmark::State& state) {
-  static LongLivedTas<NativePlatform>* tas = nullptr;
-  if (state.thread_index() == 0) {
-    tas = new LongLivedTas<NativePlatform>(state.threads(), kPool, true);
-  }
-  NativeContext ctx(static_cast<ProcessId>(state.thread_index()));
-  std::uint64_t i = 0;
-  for (auto _ : state) {
-    if (tas->test_and_set(ctx, tas_req(ctx.id(), ++i)).won()) {
-      tas->reset(ctx);
+  double solo_spec_rmws = -1.0;
+  double solo_hw_rmws = -1.0;
+  for (int threads : thread_counts) {
+    {
+      LongLivedTas<NativePlatform> tas(threads, kPool, /*recycle=*/true);
+      PhaseMetrics pm = measure_native(
+          "speculative t=" + std::to_string(threads), threads, params.ops,
+          [&](NativeContext& ctx, std::uint64_t i) {
+            if (tas.test_and_set(ctx, tas_req(ctx.id(), i)).won()) {
+              tas.reset(ctx);
+            }
+          });
+      if (threads == 1) solo_spec_rmws = pm.rmws_per_op();
+      result.phases.push_back(std::move(pm));
+    }
+    {
+      HardwareLongLivedTas tas(threads, kPool);
+      PhaseMetrics pm = measure_native(
+          "hardware t=" + std::to_string(threads), threads, params.ops,
+          [&](NativeContext& ctx, std::uint64_t) {
+            if (tas.test_and_set(ctx)) tas.reset(ctx);
+          });
+      if (threads == 1) solo_hw_rmws = pm.rmws_per_op();
+      result.phases.push_back(std::move(pm));
     }
   }
-  if (state.thread_index() == 0) {
-    delete tas;
-    tas = nullptr;
-  }
-}
-BENCHMARK(BM_Speculative_WinReset)->Threads(1)->Threads(2)->Threads(4);
 
-void BM_Hardware_WinReset(benchmark::State& state) {
-  static HardwareLongLivedTas* tas = nullptr;
-  if (state.thread_index() == 0) {
-    tas = new HardwareLongLivedTas(state.threads(), kPool);
-  }
-  NativeContext ctx(static_cast<ProcessId>(state.thread_index()));
-  for (auto _ : state) {
-    if (tas->test_and_set(ctx)) tas->reset(ctx);
-  }
-  if (state.thread_index() == 0) {
-    delete tas;
-    tas = nullptr;
-  }
+  result.claim = "single-owner speculative TAS performs ~0 RMWs/op "
+                 "(register fast path) where hardware pays 1";
+  result.claim_holds = solo_spec_rmws >= 0.0 && solo_spec_rmws < 0.01 &&
+                       solo_hw_rmws >= 0.99;
+  return result;
 }
-BENCHMARK(BM_Hardware_WinReset)->Threads(1)->Threads(2)->Threads(4);
+
+SCM_BENCH_REGISTER("tas.latency", "E3",
+                   "native win/reset latency: speculative vs hardware "
+                   "long-lived TAS",
+                   Backend::kNative, run);
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_claim_tables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

@@ -1,32 +1,31 @@
-// E1 — Step complexity of the speculative TAS (Theorem 4, Section 6.1).
+// Scenario tas.steps (E1) — step complexity of the speculative TAS
+// (Theorem 4, Section 6.1).
 //
 // Claims regenerated:
 //  * A1 (and therefore the composed TAS's fast path) has *constant*
-//    step complexity: solo and obstruction-free executions cost the
-//    same handful of register steps at every process count, while the
-//    best-known obstruction-free *consensus* bound is linear [6];
+//    step complexity: solo executions cost the same handful of register
+//    steps (and zero RMWs) at every process count;
 //  * the composed TAS stays wait-free under contention at O(1) steps
 //    per operation (one doorway pass + at most one hardware RMW).
 //
 // The step counts come from the deterministic simulator, so they are
 // exact (not sampled): every shared-memory access is counted.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
 #include <memory>
+#include <set>
+#include <vector>
 
-#include "runtime/platform.hpp"
-#include "support/table.hpp"
+#include "bench/registry.hpp"
+#include "bench/scenario.hpp"
 #include "sim/schedules.hpp"
 #include "sim/sim_platform.hpp"
 #include "sim/simulator.hpp"
 #include "tas/speculative_tas.hpp"
-#include "workload/driver.hpp"
 #include "workload/sim_metrics.hpp"
 
 namespace {
 
 using namespace scm;
+using namespace scm::bench;
 using sim::SimContext;
 using sim::SimPlatform;
 using sim::Simulator;
@@ -39,126 +38,72 @@ Request tas_req(std::uint64_t id, ProcessId p) {
 StepCounters solo_steps(int n) {
   Simulator s;
   SpeculativeTas<SimPlatform> tas;
-  s.add_process([&](SimContext& ctx) { (void)tas.test_and_set(ctx, tas_req(1, 0)); });
+  s.add_process(
+      [&](SimContext& ctx) { (void)tas.test_and_set(ctx, tas_req(1, 0)); });
   for (int p = 1; p < n; ++p) s.add_process([](SimContext&) {});
   sim::SequentialSchedule sched;
   s.run(sched);
   return s.counters(0);
 }
 
-// Average steps per op when all n processes run, under `schedule`.
-workload::SimMetrics contended_metrics(int n, std::uint64_t seed) {
-  auto tas = std::make_shared<SpeculativeTas<SimPlatform>>();
-  sim::RandomSchedule sched(seed);
-  return workload::run_sim(
-      n,
-      [&](Simulator& s) {
-        for (int p = 0; p < n; ++p) {
-          s.add_process([tas, p](SimContext& ctx) {
-            ctx.begin_op();
-            (void)tas->test_and_set(
-                ctx, tas_req(static_cast<std::uint64_t>(p) + 1, p));
-            ctx.end_op(1);
-          });
-        }
-      },
-      sched);
-}
+ScenarioResult run(const BenchParams& params) {
+  const SchedulePolicy policy =
+      SchedulePolicy::parse(params.schedule, params.seed);
+  const int sweeps = params.sweeps(4, 2, 20);
 
-void print_claim_tables() {
-  std::printf("\nE1 -- step complexity of the speculative TAS "
-              "(exact counts from the deterministic simulator)\n\n");
+  std::set<int> ns{1, 2};
+  ns.insert(params.threads);
+  ns.insert(std::min(2 * params.threads, 32));
 
-  Table solo({"n (processes)", "solo steps", "solo RMWs",
-              "sequential steps/op", "max steps/op (contended)",
-              "RMWs/op (contended)"});
-  for (int n : {1, 2, 4, 8, 16, 32}) {
+  ScenarioResult result;
+  std::vector<std::uint64_t> solo_totals;
+  bool zero_solo_rmws = true;
+  for (int n : ns) {
     const StepCounters sc = solo_steps(n);
+    solo_totals.push_back(sc.total());
+    zero_solo_rmws = zero_solo_rmws && sc.rmws == 0;
 
-    // Sequential: every process runs one op without overlap.
-    auto tas = std::make_shared<SpeculativeTas<SimPlatform>>();
-    sim::SequentialSchedule seq;
-    const auto seq_metrics = workload::run_sim(
-        n,
-        [&](Simulator& s) {
-          for (int p = 0; p < n; ++p) {
-            s.add_process([tas, p](SimContext& ctx) {
-              ctx.begin_op();
-              (void)tas->test_and_set(
-                  ctx, tas_req(static_cast<std::uint64_t>(p) + 1, p));
-              ctx.end_op(1);
-            });
-          }
-        },
-        seq);
-
-    // Contended: average and max per-op steps over seeds.
+    PhaseMetrics pm;
+    pm.phase = "contended n=" + std::to_string(n);
     double max_steps_per_op = 0.0;
-    double rmws_per_op = 0.0;
-    int sweeps = 0;
-    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
       Simulator s;
-      auto tas2 = std::make_shared<SpeculativeTas<SimPlatform>>();
+      auto tas = std::make_shared<SpeculativeTas<SimPlatform>>();
       for (int p = 0; p < n; ++p) {
-        s.add_process([tas2, p](SimContext& ctx) {
-          (void)tas2->test_and_set(
+        s.add_process([tas, p](SimContext& ctx) {
+          (void)tas->test_and_set(
               ctx, tas_req(static_cast<std::uint64_t>(p) + 1, p));
         });
       }
-      sim::RandomSchedule sched(seed);
-      s.run(sched);
+      auto sched = policy.make(static_cast<std::uint64_t>(n) * 1000 +
+                               static_cast<std::uint64_t>(sweep));
+      s.run(*sched);
       for (int p = 0; p < n; ++p) {
-        const auto& c = s.counters(static_cast<ProcessId>(p));
+        const StepCounters& c = s.counters(static_cast<ProcessId>(p));
+        pm.steps += c.total();
+        pm.rmws += c.rmws;
         max_steps_per_op =
             std::max(max_steps_per_op, static_cast<double>(c.total()));
-        rmws_per_op += static_cast<double>(c.rmws);
-        ++sweeps;
+        ++pm.ops;
       }
     }
-    solo.row(n, sc.total(), sc.rmws, seq_metrics.steps_per_op(),
-             max_steps_per_op, rmws_per_op / sweeps);
+    pm.extra["solo_steps"] = static_cast<double>(sc.total());
+    pm.extra["solo_rmws"] = static_cast<double>(sc.rmws);
+    pm.extra["max_steps_per_op"] = max_steps_per_op;
+    result.phases.push_back(std::move(pm));
   }
-  solo.print(std::cout, "composed TAS: steps per operation");
-  std::printf(
-      "\nClaim check: solo/sequential step counts are CONSTANT in n and use\n"
-      "0 RMWs; contended operations are bounded by the same doorway pass\n"
-      "plus at most one hardware RMW (wait-free, Theorem 4).\n\n");
+
+  const bool solo_constant =
+      std::set<std::uint64_t>(solo_totals.begin(), solo_totals.end()).size() ==
+      1;
+  result.claim =
+      "solo steps constant in n with 0 RMWs (register-only fast path)";
+  result.claim_holds = solo_constant && zero_solo_rmws;
+  return result;
 }
 
-// --------------------------------------------------------------------------
-// Wall-clock microbenchmarks (native platform): the same algorithm code
-// on std::atomic registers.
-
-void BM_SpeculativeTas_SoloNative(benchmark::State& state) {
-  NativeContext ctx(0);
-  std::uint64_t id = 0;
-  for (auto _ : state) {
-    SpeculativeTas<NativePlatform> tas;
-    benchmark::DoNotOptimize(tas.test_and_set(ctx, tas_req(++id, 0)));
-  }
-  state.counters["rmws/op"] = benchmark::Counter(
-      static_cast<double>(ctx.counters().rmws),
-      benchmark::Counter::kAvgIterations);
-}
-BENCHMARK(BM_SpeculativeTas_SoloNative);
-
-void BM_HardwareTas_SoloNative(benchmark::State& state) {
-  NativeContext ctx(0);
-  for (auto _ : state) {
-    NativeTas t;
-    benchmark::DoNotOptimize(t.test_and_set(ctx));
-  }
-  state.counters["rmws/op"] = benchmark::Counter(
-      static_cast<double>(ctx.counters().rmws),
-      benchmark::Counter::kAvgIterations);
-}
-BENCHMARK(BM_HardwareTas_SoloNative);
+SCM_BENCH_REGISTER("tas.steps", "E1",
+                   "step complexity of the speculative TAS (Theorem 4)",
+                   Backend::kSim, run);
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_claim_tables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

@@ -1,7 +1,7 @@
-// E6 — The composable universal construction under phased contention
-// (Proposition 1): every sequential type has an Abstract implementation
-// that uses only registers when uncontended and reverts to CAS
-// otherwise.
+// Scenario universal.phased (E6) — the composable universal
+// construction under phased contention (Proposition 1): every
+// sequential type has an Abstract implementation that uses only
+// registers when uncontended and reverts to CAS otherwise.
 //
 // Workload: a shared fetch&increment counter behind the three-stage
 // chain (contention-free SplitConsensus -> obstruction-free
@@ -9,12 +9,12 @@
 // sequential (no contention) and randomly interleaved (contention).
 // We report, per phase style, which stage served the commits and how
 // many RMW steps were spent.
-#include <cstdio>
 #include <memory>
 #include <set>
 #include <vector>
 
-#include "support/table.hpp"
+#include "bench/registry.hpp"
+#include "bench/scenario.hpp"
 #include "consensus/abortable_bakery.hpp"
 #include "consensus/cas_consensus.hpp"
 #include "consensus/split_consensus.hpp"
@@ -28,16 +28,20 @@
 namespace {
 
 using namespace scm;
+using namespace scm::bench;
 using sim::SimContext;
 using sim::SimPlatform;
 using sim::Simulator;
 
 using SplitStage =
-    ComposableUniversal<SimPlatform, CounterSpec, SplitConsensus<SimPlatform>, 48>;
+    ComposableUniversal<SimPlatform, CounterSpec, SplitConsensus<SimPlatform>,
+                        48>;
 using BakeryStage =
-    ComposableUniversal<SimPlatform, CounterSpec, AbortableBakery<SimPlatform>, 48>;
+    ComposableUniversal<SimPlatform, CounterSpec, AbortableBakery<SimPlatform>,
+                        48>;
 using CasStage =
-    ComposableUniversal<SimPlatform, CounterSpec, CasConsensus<SimPlatform>, 48>;
+    ComposableUniversal<SimPlatform, CounterSpec, CasConsensus<SimPlatform>,
+                        48>;
 
 std::unique_ptr<UniversalChain<SimPlatform, CounterSpec>> make_chain(int n) {
   std::vector<std::unique_ptr<AbstractStage<SimPlatform>>> stages;
@@ -50,13 +54,13 @@ std::unique_ptr<UniversalChain<SimPlatform, CounterSpec>> make_chain(int n) {
 
 struct PhaseResult {
   std::uint64_t commits_by_stage[3] = {0, 0, 0};
-  std::uint64_t total_rmws = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t rmws = 0;
   std::uint64_t ops = 0;
   bool correct = true;  // fetch&inc responses unique and gap-free
 };
 
-PhaseResult run_phase(int n, int ops_per_proc, bool contended,
-                      std::uint64_t seed) {
+PhaseResult run_phase(int n, int ops_per_proc, sim::Schedule& sched) {
   auto chain = make_chain(n);
   Simulator s;
   std::vector<std::vector<Response>> responses(n);
@@ -66,23 +70,18 @@ PhaseResult run_phase(int n, int ops_per_proc, bool contended,
         const auto id = static_cast<std::uint64_t>(p) * 1000 +
                         static_cast<std::uint64_t>(i) + 1;
         responses[p].push_back(
-            chain
-                ->perform(ctx, Request{id, p, CounterSpec::kFetchInc, 0})
+            chain->perform(ctx, Request{id, p, CounterSpec::kFetchInc, 0})
                 .response);
       }
     });
   }
-  if (contended) {
-    sim::RandomSchedule sched(seed);
-    s.run(sched);
-  } else {
-    sim::SequentialSchedule sched;
-    s.run(sched);
-  }
+  s.run(sched);
 
   PhaseResult out;
   for (int p = 0; p < n; ++p) {
-    out.total_rmws += s.counters(static_cast<ProcessId>(p)).rmws;
+    const StepCounters& c = s.counters(static_cast<ProcessId>(p));
+    out.steps += c.total();
+    out.rmws += c.rmws;
     for (std::size_t st = 0; st < 3; ++st) {
       out.commits_by_stage[st] += chain->commits_by(p, st);
     }
@@ -93,57 +92,70 @@ PhaseResult run_phase(int n, int ops_per_proc, bool contended,
   }
   out.ops = static_cast<std::uint64_t>(n) *
             static_cast<std::uint64_t>(ops_per_proc);
-  out.correct = all.size() == out.ops && !all.empty() &&
-                *all.begin() == 0 &&
+  out.correct = all.size() == out.ops && !all.empty() && *all.begin() == 0 &&
                 *all.rbegin() == static_cast<Response>(out.ops - 1);
   return out;
 }
 
-}  // namespace
+PhaseMetrics to_metrics(const std::string& name, const PhaseResult& r) {
+  PhaseMetrics pm;
+  pm.phase = name;
+  pm.ops = r.ops;
+  pm.steps = r.steps;
+  pm.rmws = r.rmws;
+  pm.extra["stage0_commits"] = static_cast<double>(r.commits_by_stage[0]);
+  pm.extra["stage1_commits"] = static_cast<double>(r.commits_by_stage[1]);
+  pm.extra["stage2_commits"] = static_cast<double>(r.commits_by_stage[2]);
+  pm.extra["linearizable"] = r.correct ? 1.0 : 0.0;
+  return pm;
+}
 
-int main() {
-  std::printf("\nE6 -- composable universal construction (fetch&inc counter)\n");
-  std::printf("three-stage chain: SplitConsensus -> AbortableBakery -> CAS\n\n");
+ScenarioResult run(const BenchParams& params) {
+  const SchedulePolicy policy =
+      SchedulePolicy::parse(params.schedule, params.seed);
+  const int ops_per_proc =
+      static_cast<int>(std::clamp<std::uint64_t>(params.ops / 16, 2, 8));
+  const int contended_runs = params.sweeps(8, 2, 10);
 
-  Table t({"phase", "n", "ops", "stage0 commits (reg)", "stage1 commits (reg)",
-           "stage2 commits (CAS)", "RMWs total", "linearizable"});
+  ScenarioResult result;
   bool all_correct = true;
   std::uint64_t uncontended_stage12 = 0;
-  std::uint64_t contended_stage12 = 0;
   for (int n : {2, 4}) {
-    const auto solo = run_phase(n, 4, /*contended=*/false, 0);
-    t.row("sequential", n, solo.ops, solo.commits_by_stage[0],
-          solo.commits_by_stage[1], solo.commits_by_stage[2], solo.total_rmws,
-          solo.correct ? "yes" : "NO");
+    if (n > std::max(2, params.threads)) break;
+    sim::SequentialSchedule seq;
+    const PhaseResult solo = run_phase(n, ops_per_proc, seq);
     all_correct = all_correct && solo.correct;
     uncontended_stage12 += solo.commits_by_stage[1] + solo.commits_by_stage[2];
+    result.phases.push_back(
+        to_metrics("sequential n=" + std::to_string(n), solo));
 
     PhaseResult contended{};
-    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-      const auto r = run_phase(n, 4, /*contended=*/true, seed * 101);
+    for (int i = 0; i < contended_runs; ++i) {
+      auto sched = policy.make(static_cast<std::uint64_t>(n) * 100 +
+                               static_cast<std::uint64_t>(i) * 101);
+      const PhaseResult r = run_phase(n, ops_per_proc, *sched);
       for (int st = 0; st < 3; ++st) {
         contended.commits_by_stage[st] += r.commits_by_stage[st];
       }
-      contended.total_rmws += r.total_rmws;
+      contended.steps += r.steps;
+      contended.rmws += r.rmws;
       contended.ops += r.ops;
       contended.correct = contended.correct && r.correct;
     }
-    t.row("contended", n, contended.ops, contended.commits_by_stage[0],
-          contended.commits_by_stage[1], contended.commits_by_stage[2],
-          contended.total_rmws, contended.correct ? "yes" : "NO");
     all_correct = all_correct && contended.correct;
-    contended_stage12 +=
-        contended.commits_by_stage[1] + contended.commits_by_stage[2];
+    result.phases.push_back(
+        to_metrics("contended n=" + std::to_string(n), contended));
   }
-  t.print(std::cout, "commits per stage under phased contention");
 
-  std::printf(
-      "\nClaim check (Prop 1): sequential phases commit entirely in the\n"
-      "register-only stage 0 (later-stage commits: %llu, must be 0);\n"
-      "contention pushes commits to later stages (%llu observed > 0);\n"
-      "fetch&inc stays linearizable throughout -> %s.\n\n",
-      static_cast<unsigned long long>(uncontended_stage12),
-      static_cast<unsigned long long>(contended_stage12),
-      all_correct ? "HOLDS" : "VIOLATED");
-  return (all_correct && uncontended_stage12 == 0) ? 0 : 1;
+  result.claim = "sequential phases commit entirely in the register-only "
+                 "stage 0 and fetch&inc stays linearizable (Prop. 1)";
+  result.claim_holds = all_correct && uncontended_stage12 == 0;
+  return result;
 }
+
+SCM_BENCH_REGISTER("universal.phased", "E6",
+                   "composable universal construction (fetch&inc) under "
+                   "phased contention",
+                   Backend::kSim, run);
+
+}  // namespace

@@ -1,5 +1,5 @@
-// E7 — The inherent cost of generic composition (Proposition 2 context,
-// Jayanti's lower bound [16]).
+// Scenario universal.catchup (E7) — the inherent cost of generic
+// composition (Proposition 2 context, Jayanti's lower bound [16]).
 //
 // Claims regenerated:
 //  * the state transferred between modules of the *generic*
@@ -10,11 +10,11 @@
 //  * by contrast, the semantics-aware TAS transfers ONE switch value
 //    regardless of history length — the gap the paper's "light-weight"
 //    framework exists to close.
-#include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "support/table.hpp"
+#include "bench/registry.hpp"
+#include "bench/scenario.hpp"
 #include "consensus/cas_consensus.hpp"
 #include "history/specs.hpp"
 #include "sim/schedules.hpp"
@@ -26,6 +26,7 @@
 namespace {
 
 using namespace scm;
+using namespace scm::bench;
 using sim::SimContext;
 using sim::SimPlatform;
 using sim::Simulator;
@@ -34,6 +35,7 @@ using sim::Simulator;
 // requests, plus the abort-history length at that point.
 struct CatchUp {
   std::uint64_t joiner_steps = 0;
+  std::uint64_t joiner_rmws = 0;
   std::size_t history_len = 0;
 };
 
@@ -63,6 +65,7 @@ CatchUp measure_catchup(int k) {
   sim::SequentialSchedule sched;
   s.run(sched);
   out.joiner_steps = s.counters(1).total();
+  out.joiner_rmws = s.counters(1).rmws;
   return out;
 }
 
@@ -86,30 +89,40 @@ std::uint64_t tas_late_joiner_steps(int prior_ops) {
   return s.counters(1).total();
 }
 
-}  // namespace
+ScenarioResult run(const BenchParams& params) {
+  // History depths: fixed geometric sweep, truncated by the ops budget
+  // so smoke runs stay fast (the universal stage caps at 600 cells).
+  const int k_max = static_cast<int>(
+      std::clamp<std::uint64_t>(params.ops * 4, 16, 256));
 
-int main() {
-  std::printf("\nE7 -- generic composition transfers linear state; the\n");
-  std::printf("semantics-aware TAS transfers a constant switch value\n\n");
-
-  Table t({"prior committed requests k", "universal: joiner steps",
-           "universal: commit-history length", "TAS: joiner steps"});
-  std::vector<std::uint64_t> joiner;
-  for (int k : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
-    const auto cu = measure_catchup(k);
+  ScenarioResult result;
+  std::vector<std::uint64_t> joiner, tas_joiner;
+  for (int k = 1; k <= k_max; k *= 4) {
+    const CatchUp cu = measure_catchup(k);
+    const std::uint64_t tas_steps = tas_late_joiner_steps(k);
     joiner.push_back(cu.joiner_steps);
-    t.row(k, cu.joiner_steps, cu.history_len, tas_late_joiner_steps(k));
-  }
-  t.print(std::cout, "catch-up cost vs history length");
+    tas_joiner.push_back(tas_steps);
 
-  const bool linear =
-      joiner.back() > joiner.front() * 16;  // 256x history, >16x steps
-  std::printf(
-      "\nClaim check: universal-construction catch-up grows linearly with\n"
-      "history (x%0.1f steps from k=1 to k=256) while the TAS joiner stays\n"
-      "constant -> %s.\n\n",
-      static_cast<double>(joiner.back()) /
-          static_cast<double>(joiner.front() == 0 ? 1 : joiner.front()),
-      linear ? "HOLDS" : "VIOLATED");
-  return linear ? 0 : 1;
+    PhaseMetrics pm;
+    pm.phase = "k=" + std::to_string(k);
+    pm.ops = 1;  // the late joiner's single operation
+    pm.steps = cu.joiner_steps;
+    pm.rmws = cu.joiner_rmws;
+    pm.extra["history_len"] = static_cast<double>(cu.history_len);
+    pm.extra["tas_joiner_steps"] = static_cast<double>(tas_steps);
+    result.phases.push_back(std::move(pm));
+  }
+
+  result.claim = "universal-construction catch-up grows with history while "
+                 "the semantics-aware TAS joiner stays constant";
+  result.claim_holds = joiner.back() > 2 * joiner.front() &&
+                       tas_joiner.back() == tas_joiner.front();
+  return result;
 }
+
+SCM_BENCH_REGISTER("universal.catchup", "E7",
+                   "generic composition transfers linear state; the TAS "
+                   "transfers a constant switch value",
+                   Backend::kSim, run);
+
+}  // namespace

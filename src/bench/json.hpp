@@ -1,0 +1,157 @@
+// Minimal streaming JSON writer for the BENCH_results.json reports.
+// Handles string escaping and non-finite doubles (emitted as null) so
+// the output is always standard JSON; nesting is tracked so keys and
+// commas cannot be misplaced.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace scm::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object() {
+    before_value();
+    os_ << '{';
+    stack_.push_back(Frame{/*is_object=*/true, /*count=*/0});
+    return *this;
+  }
+  JsonWriter& end_object() {
+    SCM_CHECK(!stack_.empty() && stack_.back().is_object);
+    stack_.pop_back();
+    os_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    before_value();
+    os_ << '[';
+    stack_.push_back(Frame{/*is_object=*/false, /*count=*/0});
+    return *this;
+  }
+  JsonWriter& end_array() {
+    SCM_CHECK(!stack_.empty() && !stack_.back().is_object);
+    stack_.pop_back();
+    os_ << ']';
+    return *this;
+  }
+
+  JsonWriter& key(const std::string& k) {
+    SCM_CHECK(!stack_.empty() && stack_.back().is_object);
+    separate();
+    write_string(k);
+    os_ << ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) {
+    before_value();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(bool v) {
+    before_value();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    before_value();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) {
+    before_value();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    before_value();
+    if (!std::isfinite(v)) {
+      os_ << "null";
+      return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os_ << buf;
+    return *this;
+  }
+
+  template <class T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  [[nodiscard]] bool done() const { return stack_.empty(); }
+
+ private:
+  struct Frame {
+    bool is_object;
+    int count;
+  };
+
+  void separate() {
+    if (stack_.back().count++ > 0) os_ << ',';
+  }
+
+  void before_value() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      SCM_CHECK_MSG(!stack_.back().is_object,
+                    "JSON object member emitted without a key");
+      separate();
+    }
+  }
+
+  void write_string(const std::string& s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          os_ << "\\\"";
+          break;
+        case '\\':
+          os_ << "\\\\";
+          break;
+        case '\n':
+          os_ << "\\n";
+          break;
+        case '\t':
+          os_ << "\\t";
+          break;
+        case '\r':
+          os_ << "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace scm::bench

@@ -1,0 +1,82 @@
+// Scenario registry: every former bench binary registers itself here
+// (via a static Registrar in its translation unit) and the single
+// scm_bench driver lists, filters, and runs them.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/scenario.hpp"
+
+namespace scm::bench {
+
+// Which platform the scenario measures on. Simulator scenarios report
+// exact step counts; native scenarios add wall-clock ns/op.
+enum class Backend { kSim, kNative };
+
+struct ScenarioDef {
+  std::string name;         // stable id, e.g. "tas.steps"
+  std::string experiment;   // paper experiment it reproduces, e.g. "E1"
+  std::string description;  // one line for --list
+  Backend backend = Backend::kSim;
+  std::function<ScenarioResult(const BenchParams&)> run;
+};
+
+inline std::vector<ScenarioDef>& registry() {
+  static std::vector<ScenarioDef> defs;
+  return defs;
+}
+
+// Registry sorted by name, for stable --list and JSON output.
+inline std::vector<ScenarioDef> sorted_registry() {
+  std::vector<ScenarioDef> defs = registry();
+  std::sort(defs.begin(), defs.end(),
+            [](const ScenarioDef& a, const ScenarioDef& b) {
+              return a.name < b.name;
+            });
+  return defs;
+}
+
+struct Registrar {
+  explicit Registrar(ScenarioDef def) { registry().push_back(std::move(def)); }
+};
+
+// Glob-lite matching for --filter: '*' matches any substring, '?' any
+// single character; anything else is literal. A pattern without '*' is
+// treated as a substring match so `--filter=universal` selects both
+// universal.* scenarios.
+inline bool matches_filter(const std::string& name,
+                           const std::string& pattern) {
+  if (pattern.empty()) return true;
+  if (pattern.find('*') == std::string::npos &&
+      pattern.find('?') == std::string::npos) {
+    return name.find(pattern) != std::string::npos;
+  }
+  std::function<bool(std::size_t, std::size_t)> match =
+      [&](std::size_t ni, std::size_t pi) -> bool {
+    while (pi < pattern.size()) {
+      if (pattern[pi] == '*') {
+        for (std::size_t skip = ni; skip <= name.size(); ++skip) {
+          if (match(skip, pi + 1)) return true;
+        }
+        return false;
+      }
+      if (ni >= name.size()) return false;
+      if (pattern[pi] != '?' && pattern[pi] != name[ni]) return false;
+      ++ni;
+      ++pi;
+    }
+    return ni == name.size();
+  };
+  return match(0, 0);
+}
+
+}  // namespace scm::bench
+
+// Registers a scenario. Use at namespace scope in the scenario's TU:
+//   SCM_BENCH_REGISTER("tas.steps", "E1", "....", Backend::kSim, run_fn);
+#define SCM_BENCH_REGISTER(name, experiment, description, backend, fn)     \
+  static const ::scm::bench::Registrar scm_bench_registrar_##fn{           \
+      ::scm::bench::ScenarioDef{name, experiment, description, backend, fn}}

@@ -1,0 +1,71 @@
+// Measurement layer of the benchmark subsystem: runs a scenario's
+// warmup and measured repetitions, aggregates per-phase metrics into
+// min/median/p99/mean summaries, and serializes the stable
+// `scm-bench/v1` JSON report schema.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "bench/scenario.hpp"
+#include "support/stats.hpp"
+
+namespace scm::bench {
+
+struct PhaseReport {
+  std::string phase;
+  std::uint64_t ops = 0;  // per repetition (taken from the last rep)
+  Summary ns_per_op;
+  Summary steps_per_op;
+  Summary rmws_per_op;
+  // Scenario-specific counters, averaged across repetitions.
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+struct ScenarioReport {
+  std::string scenario;
+  std::string experiment;
+  std::string backend;  // "sim" | "native"
+  int reps = 0;
+  std::string claim;
+  bool claim_holds = true;
+  // Whole-scenario aggregates (ops-weighted across phases, then
+  // summarized across repetitions).
+  Summary ns_per_op;
+  Summary steps_per_op;
+  Summary rmws_per_op;
+  std::vector<PhaseReport> phases;
+};
+
+struct RunReport {
+  BenchParams params;
+  std::vector<ScenarioReport> scenarios;
+
+  [[nodiscard]] bool all_claims_hold() const {
+    for (const auto& s : scenarios) {
+      if (!s.claim_holds) return false;
+    }
+    return true;
+  }
+};
+
+// Repetitions the runner will actually execute: simulator-backed
+// scenarios are deterministic in the parameters, so they run exactly
+// once (reps/warmup apply to native scenarios).
+inline int effective_reps(const ScenarioDef& def, const BenchParams& params) {
+  return def.backend == Backend::kSim ? 1 : params.reps;
+}
+
+// Runs `params.warmup` discarded repetitions followed by
+// `effective_reps()` measured ones and aggregates the result.
+ScenarioReport run_scenario(const ScenarioDef& def, const BenchParams& params);
+
+// Serializes the report as schema `scm-bench/v1`.
+void write_json(const RunReport& report, std::ostream& os);
+
+// Human-readable summary tables.
+void print_report(const RunReport& report, std::ostream& os);
+
+}  // namespace scm::bench

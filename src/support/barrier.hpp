@@ -1,0 +1,49 @@
+// Reusable spin barrier shared by the native workload driver, the
+// benchmark scenarios, and the examples — replaces the hand-rolled
+// ready/go spin loops that used to be duplicated at every call site.
+//
+// Spinning (rather than futex-parking) is deliberate: the barrier
+// aligns threads immediately before a measured region, and a kernel
+// wakeup on one side would skew the first samples.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace scm {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) noexcept : parties_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  // How many parties of the current generation have arrived. Lets a
+  // coordinator thread spin until everyone else is parked at the
+  // barrier, act (e.g. timestamp), and only then arrive itself.
+  [[nodiscard]] int arrived() const noexcept {
+    return arrived_.load(std::memory_order_acquire);
+  }
+
+  // Blocks (spinning) until `parties` threads have arrived; reusable
+  // across generations.
+  void arrive_and_wait() noexcept {
+    const std::uint32_t generation =
+        generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    while (generation_.load(std::memory_order_acquire) == generation) {
+    }
+  }
+
+ private:
+  const int parties_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint32_t> generation_{0};
+};
+
+}  // namespace scm

@@ -9,6 +9,14 @@
 
 namespace scm {
 
+// The fixed aggregate reported per metric in benchmark results.
+struct Summary {
+  double min = 0.0;
+  double median = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+};
+
 // Accumulates scalar samples; retains them for percentile queries.
 class Samples {
  public:
@@ -57,6 +65,10 @@ class Samples {
   }
 
   [[nodiscard]] double median() { return percentile(50.0); }
+
+  [[nodiscard]] Summary summary() {
+    return Summary{min(), median(), percentile(99.0), mean()};
+  }
 
   void clear() {
     samples_.clear();

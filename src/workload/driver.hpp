@@ -4,7 +4,6 @@
 // per-thread step counters and wall-clock time.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -13,6 +12,7 @@
 
 #include "runtime/context.hpp"
 #include "runtime/ids.hpp"
+#include "support/barrier.hpp"
 
 namespace scm::workload {
 
@@ -50,8 +50,13 @@ inline DriverResult run_threads(
     int threads, std::uint64_t ops_per_thread,
     const std::function<void(NativeContext&, std::uint64_t)>& body,
     const std::function<std::uint64_t(ProcessId)>& start_delay_ns = {}) {
-  std::atomic<int> ready{0};
-  std::atomic<bool> go{false};
+  // Degenerate workloads produce an explicitly empty result instead of
+  // spawning zero threads and reporting division-guarded zeros.
+  if (threads <= 0 || ops_per_thread == 0) return DriverResult{};
+
+  // Threads + the measuring (main) thread align here so t0 is taken
+  // when every worker is ready to run.
+  SpinBarrier start(threads + 1);
   std::vector<StepCounters> counters(static_cast<std::size_t>(threads));
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads));
@@ -59,9 +64,7 @@ inline DriverResult run_threads(
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
       NativeContext ctx(static_cast<ProcessId>(t));
-      ready.fetch_add(1, std::memory_order_acq_rel);
-      while (!go.load(std::memory_order_acquire)) {
-      }
+      start.arrive_and_wait();
       if (start_delay_ns) {
         const auto wait = std::chrono::nanoseconds(start_delay_ns(t));
         const auto until = std::chrono::steady_clock::now() + wait;
@@ -75,10 +78,13 @@ inline DriverResult run_threads(
     });
   }
 
-  while (ready.load(std::memory_order_acquire) != threads) {
+  // Spin until every worker is parked at the barrier, stamp t0, then
+  // release them: startup latency stays outside the measured interval
+  // and the interval can only overcount by the release itself.
+  while (start.arrived() != threads) {
   }
   const auto t0 = std::chrono::steady_clock::now();
-  go.store(true, std::memory_order_release);
+  start.arrive_and_wait();
   for (auto& th : pool) th.join();
   const auto t1 = std::chrono::steady_clock::now();
 
