@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/pipeline.hpp"
 #include "runtime/platform.hpp"
 #include "tas/speculative_tas.hpp"
 
@@ -53,6 +54,27 @@ int main() {
     if (r.outcome.won()) ++winners;
   }
   std::printf("\nexactly one winner: %s\n", winners == 1 ? "yes" : "NO (bug!)");
+
+  // The same composition, written explicitly with the variadic pipeline
+  // API: make_pipeline chains any number of modules, folds the abort→
+  // init switch plumbing at compile time, and counts per-stage commits
+  // and aborts.
+  ObstructionFreeTas<NativePlatform> a1;
+  WaitFreeTas<NativePlatform> a2;
+  auto pipeline = make_pipeline(a1, a2);
+  static_assert(decltype(pipeline)::kDepth == 2);
+  static_assert(decltype(pipeline)::kConsensusNumber == 2);
+
+  NativeContext solo(0);
+  const Request req{1000, 0, TasSpec::kTestAndSet, 0};
+  const ModuleResult r = pipeline.invoke(solo, req);
+  std::printf(
+      "\nexplicit make_pipeline(a1, a2), one solo op: %s, served by "
+      "stage 0 (%llu commit, %llu aborts there)\n",
+      r.response == TasSpec::kWinner ? "WINNER" : "loser",
+      static_cast<unsigned long long>(pipeline.stats(0).commits),
+      static_cast<unsigned long long>(pipeline.stats(0).aborts));
+
   std::printf(
       "run it again single-threaded and every operation stays on the\n"
       "register-only speculative path with zero RMWs.\n");

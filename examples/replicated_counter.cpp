@@ -7,14 +7,18 @@
 //   stage 1: AbortableBakery   — registers only, commits absent step
 //                                contention;
 //   stage 2: CasConsensus      — hardware CAS, wait-free.
+// The chain is assembled with StaticAbstractChain: the stage types are
+// known at compile time, so every stage call devirtualizes (the
+// type-erased UniversalChain remains available for stage sets chosen
+// at runtime — see universal/universal_chain.hpp).
 // The example runs a quiet phase (one thread) and a storm phase (all
 // threads) and prints which stage served the commits in each — the
 // speculation reverting to hardware exactly when contention appears.
 //
 //   $ ./examples/replicated_counter [threads]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 #include <thread>
 #include <vector>
 
@@ -24,7 +28,7 @@
 #include "history/specs.hpp"
 #include "runtime/platform.hpp"
 #include "universal/composable_universal.hpp"
-#include "universal/universal_chain.hpp"
+#include "universal/static_chain.hpp"
 
 using namespace scm;
 
@@ -32,41 +36,31 @@ namespace {
 
 constexpr std::size_t kCap = 96;
 
-std::unique_ptr<UniversalChain<NativePlatform, CounterSpec>> make_chain(
-    int n) {
-  std::vector<std::unique_ptr<AbstractStage<NativePlatform>>> stages;
-  stages.push_back(
-      std::make_unique<ComposableUniversal<NativePlatform, CounterSpec,
-                                           SplitConsensus<NativePlatform>, kCap>>(
-          n, kCap, "split/registers"));
-  stages.push_back(
-      std::make_unique<ComposableUniversal<NativePlatform, CounterSpec,
-                                           AbortableBakery<NativePlatform>, kCap>>(
-          n, kCap, "bakery/registers"));
-  stages.push_back(
-      std::make_unique<ComposableUniversal<NativePlatform, CounterSpec,
-                                           CasConsensus<NativePlatform>, kCap>>(
-          n, kCap, "cas/hardware"));
-  return std::make_unique<UniversalChain<NativePlatform, CounterSpec>>(
-      n, std::move(stages));
-}
+template <class Cons>
+using Stage = ComposableUniversal<NativePlatform, CounterSpec, Cons, kCap>;
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
-  auto chain = make_chain(threads);
+
+  Stage<SplitConsensus<NativePlatform>> split(threads, kCap,
+                                              "split/registers");
+  Stage<AbortableBakery<NativePlatform>> bakery(threads, kCap,
+                                                "bakery/registers");
+  Stage<CasConsensus<NativePlatform>> cas(threads, kCap, "cas/hardware");
+  StaticAbstractChain chain(threads, split, bakery, cas);
 
   // Quiet phase: thread 0 increments alone.
   {
     NativeContext ctx(0);
     for (int i = 0; i < 8; ++i) {
-      const auto r = chain->perform(
+      const auto r = chain.perform(
           ctx, Request{static_cast<std::uint64_t>(i) + 1, 0,
                        CounterSpec::kFetchInc, 0});
       std::printf("quiet  : fetch&inc -> %lld  (stage %zu: %s)\n",
                   static_cast<long long>(r.response), r.stage,
-                  chain->stage(r.stage).name());
+                  chain.stage_name(r.stage));
     }
   }
 
@@ -81,8 +75,8 @@ int main(int argc, char** argv) {
                         static_cast<std::uint64_t>(i);
         got[static_cast<std::size_t>(t)].push_back(
             chain
-                ->perform(ctx, Request{id, static_cast<ProcessId>(t),
-                                       CounterSpec::kFetchInc, 0})
+                .perform(ctx, Request{id, static_cast<ProcessId>(t),
+                                      CounterSpec::kFetchInc, 0})
                 .response);
       }
     });
@@ -104,13 +98,13 @@ int main(int argc, char** argv) {
 
   std::printf("\ncommits by stage (thread 0): quiet ran on stage 0 "
               "(registers); contention pushed ops to later stages.\n");
-  for (std::size_t st = 0; st < chain->stage_count(); ++st) {
+  for (std::size_t st = 0; st < chain.stage_count(); ++st) {
     std::uint64_t commits = 0;
     for (int t = 0; t < threads; ++t) {
-      commits += chain->commits_by(static_cast<ProcessId>(t), st);
+      commits += chain.commits_by(static_cast<ProcessId>(t), st);
     }
     std::printf("  stage %zu (%-16s): %llu commits\n", st,
-                chain->stage(st).name(),
+                chain.stage_name(st),
                 static_cast<unsigned long long>(commits));
   }
   std::printf("\nall fetch&inc values distinct: %s\n",

@@ -1,0 +1,74 @@
+// Adapter from abortable consensus to the composable-module interface.
+//
+// Algorithm 3/4 already give every consensus object the two-argument
+// wrapper run(old, v): propose the value inherited from the previous
+// instance first, then the caller's own proposal. That is precisely
+// the abort→init plumbing of Section 5's modules, so a consensus
+// instance *is* a module once the translation is spelled out:
+//   * the init switch value is the previous instance's recovery hint
+//     (⊥ when the module starts a chain);
+//   * the proposal is the request argument;
+//   * a commit's response is the decided value;
+//   * an abort's switch value is this instance's recovery hint, ready
+//     to initialize the next consensus module downstream.
+//
+// With this adapter a consensus chain composes through the same
+// Pipeline<Ms...> combinator as the TAS modules:
+//   make_pipeline(ConsensusModule{split}, ConsensusModule{bakery},
+//                 ConsensusModule{cas})
+// commits on the registers-only stages when quiet and falls through to
+// hardware under contention — the Proposition 1 stack, without the
+// universal construction around it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <type_traits>
+
+#include "consensus/consensus.hpp"
+#include "core/module.hpp"
+#include "history/request.hpp"
+
+namespace scm {
+
+template <class Cons>
+class ConsensusModule {
+ public:
+  static constexpr int kConsensusNumber = Cons::kConsensusNumber;
+
+  ConsensusModule()
+    requires std::is_default_constructible_v<Cons>
+      : owned_(std::make_unique<Cons>()) {}
+  // Owned instance whose constructor needs the process count (e.g.
+  // AbortableBakery).
+  explicit ConsensusModule(int num_processes)
+    requires std::is_constructible_v<Cons, int>
+      : owned_(std::make_unique<Cons>(num_processes)) {}
+  explicit ConsensusModule(Cons& cons) noexcept : cons_(&cons) {}
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& m,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    const std::int64_t inherited = init.value_or(kBottom);
+    const ConsensusResult r =
+        consensus().run(ctx, inherited, m.arg);
+    if (r.committed()) return ModuleResult::commit(r.value);
+    return ModuleResult::abort_with(r.value);  // recovery hint
+  }
+
+  [[nodiscard]] Cons& consensus() noexcept {
+    return cons_ == nullptr ? *owned_ : *cons_;
+  }
+
+ private:
+  // Constructing adapters own their instance (the common case: the
+  // adapter lives exactly as long as the consensus object); the
+  // referencing constructor wraps an instance owned elsewhere. The
+  // owned instance sits behind unique_ptr so the adapter itself stays
+  // movable — and usable as an rvalue pipeline stage — even though
+  // consensus objects pin registers and are immovable.
+  std::unique_ptr<Cons> owned_;
+  Cons* cons_ = nullptr;
+};
+
+}  // namespace scm

@@ -4,13 +4,16 @@
 // a switch value and may *abort* with a switch value instead of
 // committing. Two modules compose by feeding the first module's abort
 // switch values into the second module's initialization — exactly the
-// structure of Figure 1. The Composed combinator is itself a module,
-// mirroring Theorem 2 (composition of safely composable modules is
-// safely composable), so chains of any length nest.
+// structure of Figure 1. A composition is itself a module, mirroring
+// Theorem 2 (composition of safely composable modules is safely
+// composable), so chains of any length nest. Depth-N chains are built
+// with Pipeline<Ms...> / make_pipeline (core/pipeline.hpp); the binary
+// Composed below is the legacy reference combinator.
 #pragma once
 
 #include <algorithm>
 #include <concepts>
+#include <functional>
 #include <optional>
 
 #include "history/request.hpp"
@@ -44,38 +47,41 @@ concept ComposableModule =
       { M::kConsensusNumber } -> std::convertible_to<int>;
     };
 
-// Composition of two modules: run A; on abort, run B initialized with
+// Legacy binary composition: run A; on abort, run B initialized with
 // A's switch value. The consensus number of the composition is the
 // maximum over the components — the quantity the paper's "negligible
 // cost" results are about.
+//
+// Superseded by the variadic Pipeline<Ms...> of core/pipeline.hpp
+// (arbitrary depth, per-stage stats, owning mode); kept as the minimal
+// reference combinator the pipeline is tested against. Modules are
+// held by reference_wrapper — a Composed must not outlive its modules,
+// but it can never silently decay to a raw pointer of a temporary.
 template <class A, class B>
 class Composed {
  public:
   static constexpr int kConsensusNumber =
       std::max(A::kConsensusNumber, B::kConsensusNumber);
 
-  Composed(A& a, B& b) noexcept : a_(&a), b_(&b) {}
+  Composed(A& a, B& b) noexcept : a_(a), b_(b) {}
 
   template <class Ctx>
   ModuleResult invoke(Ctx& ctx, const Request& r,
                       std::optional<SwitchValue> init = std::nullopt) {
-    const ModuleResult first = a_->invoke(ctx, r, init);
+    const ModuleResult first = a_.get().invoke(ctx, r, init);
     if (first.committed()) return first;
-    return b_->invoke(ctx, r, first.switch_value);
+    return b_.get().invoke(ctx, r, first.switch_value);
   }
 
-  [[nodiscard]] A& first() noexcept { return *a_; }
-  [[nodiscard]] B& second() noexcept { return *b_; }
+  [[nodiscard]] A& first() noexcept { return a_; }
+  [[nodiscard]] B& second() noexcept { return b_; }
 
  private:
-  A* a_;
-  B* b_;
+  std::reference_wrapper<A> a_;
+  std::reference_wrapper<B> b_;
 };
 
-// Deduction helper: compose(a, b, c) == Composed(a, Composed(b, c))...
-template <class A, class B>
-Composed<A, B> compose(A& a, B& b) {
-  return Composed<A, B>(a, b);
-}
+// The deprecated compose(a, b) helper now lives in core/pipeline.hpp
+// and forwards to make_pipeline.
 
 }  // namespace scm

@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "core/module.hpp"
+#include "core/pipeline.hpp"
 #include "history/specs.hpp"
 #include "tas/a1_module.hpp"
 #include "tas/a2_module.hpp"
@@ -35,8 +36,11 @@ class SpeculativeTas {
  public:
   using A1 = ObstructionFreeTas<P, /*CheckAbortedOnEntry=*/!SoloFast>;
   using A2 = WaitFreeTas<P>;
-  static constexpr int kConsensusNumber =
-      std::max(A1::kConsensusNumber, A2::kConsensusNumber);
+  // The A1∘A2 chain as a pipeline. FastPipeline: the one-shot TAS is
+  // the native benches' hot object (pooled by LongLivedTas), so the
+  // commit path must touch nothing but the modules' own registers.
+  using Chain = FastPipeline<A1&, A2&>;
+  static constexpr int kConsensusNumber = Chain::kConsensusNumber;
   static_assert(kConsensusNumber <= 2,
                 "the composed TAS must not require consensus (Section 6)");
   using Context = typename P::Context;
@@ -44,13 +48,11 @@ class SpeculativeTas {
   // One-shot test-and-set; wait-free.
   template <class Ctx>
   TasOutcome test_and_set(Ctx& ctx, const Request& m) {
-    const ModuleResult first = a1_.invoke(ctx, m, std::nullopt);
-    if (first.committed()) {
-      return TasOutcome{first.response, TasPath::kSpeculative};
-    }
-    const ModuleResult second = a2_.invoke(ctx, m, first.switch_value);
-    SCM_CHECK_MSG(second.committed(), "wait-free module aborted");
-    return TasOutcome{second.response, TasPath::kHardware};
+    const auto traced = chain_.invoke_traced(ctx, m, std::nullopt);
+    SCM_CHECK_MSG(traced.result.committed(), "wait-free module aborted");
+    return TasOutcome{traced.result.response, traced.stage == 0
+                                                  ? TasPath::kSpeculative
+                                                  : TasPath::kHardware};
   }
 
   // Module interface, so a SpeculativeTas composes further (Theorem 2
@@ -59,9 +61,7 @@ class SpeculativeTas {
   template <class Ctx>
   ModuleResult invoke(Ctx& ctx, const Request& m,
                       std::optional<SwitchValue> init = std::nullopt) {
-    const ModuleResult first = a1_.invoke(ctx, m, init);
-    if (first.committed()) return first;
-    return a2_.invoke(ctx, m, first.switch_value);
+    return chain_.invoke(ctx, m, init);
   }
 
   [[nodiscard]] A1& speculative_module() noexcept { return a1_; }
@@ -81,6 +81,7 @@ class SpeculativeTas {
  private:
   A1 a1_;
   A2 a2_;
+  Chain chain_{a1_, a2_};  // references the members above (decl order)
 };
 
 // Appendix B: solo-fast composition — a process reverts to hardware

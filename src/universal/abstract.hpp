@@ -5,6 +5,9 @@
 // two Abstracts yields an Abstract (Theorem 1).
 #pragma once
 
+#include <concepts>
+#include <cstddef>
+
 #include "core/module.hpp"
 #include "history/history.hpp"
 #include "history/request.hpp"
@@ -20,6 +23,30 @@ struct AbstractResult {
     return outcome == Outcome::kCommit;
   }
 };
+
+// A committed chain operation: the response, the stage that served it
+// (for progress accounting in benches and examples) and the commit
+// history. Shared by the type-erased UniversalChain and the static
+// StaticAbstractChain so callers can switch between the two.
+struct ChainPerformed {
+  Response response = kNoResponse;
+  std::size_t stage = 0;
+  History history;
+};
+
+// Structural requirements on an Abstract stage used *without* type
+// erasure (StaticAbstractChain): the same surface as AbstractStage,
+// but checked as a concept against the concrete context type, so any
+// concrete stage qualifies — including AbstractStage implementations,
+// whose calls devirtualize when the concrete type is final
+// (ComposableUniversal is).
+template <class S, class Ctx>
+concept AbstractStageLike =
+    requires(S s, Ctx& ctx, const Request& m, const History& init) {
+      { s.invoke(ctx, m, init) } -> std::same_as<AbstractResult>;
+      { s.consensus_number() } -> std::convertible_to<int>;
+      { s.name() } -> std::convertible_to<const char*>;
+    };
 
 // Type-erased Abstract instance for one platform. The universal chain
 // composes stages through this interface; virtual dispatch is

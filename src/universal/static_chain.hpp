@@ -1,0 +1,161 @@
+// Statically-typed counterpart of UniversalChain: the same Section 4.2
+// stage-switching semantics (sticky per process; an abort's history
+// initializes the next stage — Theorem 1), but over a compile-time
+// list of concrete stage types instead of AbstractStage pointers.
+//
+// Because the stage types are known (and ComposableUniversal is
+// `final`), every invoke call devirtualizes: a chain of universal
+// constructions runs with zero indirect calls on the commit path, the
+// static analogue of what Pipeline<Ms...> does for modules. The
+// type-erased UniversalChain remains for heterogeneous stage sets
+// assembled at runtime; this combinator is for benches and objects
+// whose composition is fixed at build time.
+//
+// Ownership mirrors Pipeline's reference mode: stages are held by
+// reference_wrapper (ComposableUniversal is immovable — it pins
+// registers and per-process slabs), so the caller keeps the stages
+// alive for the chain's lifetime.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/cacheline.hpp"
+#include "universal/abstract.hpp"
+
+namespace scm {
+
+template <class... Stages>
+class StaticAbstractChain {
+  static_assert(sizeof...(Stages) >= 1, "empty static chain");
+
+  template <std::size_t I>
+  using stage_t = std::tuple_element_t<I, std::tuple<Stages...>>;
+
+ public:
+  static constexpr std::size_t kDepth = sizeof...(Stages);
+  // The platform context comes from the first stage; all stages run on
+  // the same platform.
+  using Context = typename stage_t<0>::Context;
+  using Performed = ChainPerformed;
+
+  static_assert((AbstractStageLike<Stages, Context> && ...),
+                "every static chain stage must expose the Abstract "
+                "surface (invoke/consensus_number/name)");
+
+  StaticAbstractChain(int num_processes, Stages&... stages)
+      : stages_(stages...) {
+    // Validate before sizing the allocation: a negative count must hit
+    // this diagnostic, not a size_t-wrapped bad_alloc.
+    SCM_CHECK(num_processes > 0);
+    per_proc_ =
+        std::make_unique<PerProc[]>(static_cast<std::size_t>(num_processes));
+  }
+
+  // Performs request m; wait-free iff the last stage never aborts.
+  Performed perform(Context& ctx, const Request& m) {
+    PerProc& me = per_proc_[static_cast<std::size_t>(ctx.id())];
+    return resume_at<0>(me.stage, me, ctx, m);
+  }
+
+  [[nodiscard]] static constexpr std::size_t stage_count() noexcept {
+    return kDepth;
+  }
+
+  template <std::size_t I>
+  [[nodiscard]] auto& stage() noexcept {
+    return std::get<I>(stages_).get();
+  }
+
+  [[nodiscard]] const char* stage_name(std::size_t i) const {
+    SCM_CHECK(i < kDepth);
+    return with_stage<0>(i, [](const auto& s) { return s.name(); });
+  }
+
+  // Commits served by stage `i` on behalf of process `pid`.
+  [[nodiscard]] std::uint64_t commits_by(ProcessId pid, std::size_t i) const {
+    SCM_CHECK(i < kDepth);
+    return per_proc_[static_cast<std::size_t>(pid)].commits_by_stage[i];
+  }
+
+  // The chain's consensus number: max over the stages (devirtualized —
+  // resolved per concrete stage type at compile time).
+  [[nodiscard]] int consensus_number() const {
+    return std::apply(
+        [](const auto&... s) {
+          int cn = 1;
+          ((cn = std::max(cn, s.get().consensus_number())), ...);
+          return cn;
+        },
+        stages_);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) PerProc {
+    std::size_t stage = 0;  // sticky switch point, as in the paper
+    History pending_init;   // abort history awaiting the next stage
+    std::array<std::uint64_t, kDepth> commits_by_stage{};
+  };
+
+  // Runtime stage index -> compile-time stage: walk the tuple until the
+  // sticky index is reached, then run the chain tail from there.
+  template <std::size_t I>
+  Performed resume_at(std::size_t idx, PerProc& me, Context& ctx,
+                      const Request& m) {
+    if constexpr (I < kDepth) {
+      if (idx == I) return run_from<I>(me, ctx, m);
+      return resume_at<I + 1>(idx, me, ctx, m);
+    } else {
+      SCM_CHECK_MSG(false, "static chain exhausted: last stage aborted");
+      __builtin_unreachable();
+    }
+  }
+
+  template <std::size_t I>
+  Performed run_from(PerProc& me, Context& ctx, const Request& m) {
+    AbstractResult r =
+        std::get<I>(stages_).get().invoke(ctx, m, me.pending_init);
+    if (r.committed()) {
+      ++me.commits_by_stage[I];
+      Performed out;
+      out.response = r.response;
+      out.stage = I;
+      out.history = std::move(r.history);
+      return out;
+    }
+    // Abort: the abort history initializes the next stage (Theorem 1);
+    // the switch is sticky for this process from now on.
+    me.pending_init = std::move(r.history);
+    me.stage = I + 1;
+    if constexpr (I + 1 < kDepth) {
+      return run_from<I + 1>(me, ctx, m);
+    } else {
+      SCM_CHECK_MSG(false, "static chain exhausted: last stage aborted");
+      __builtin_unreachable();
+    }
+  }
+
+  template <std::size_t I, class Fn>
+  auto with_stage(std::size_t idx, Fn&& fn) const {
+    if constexpr (I + 1 < kDepth) {
+      if (idx != I) return with_stage<I + 1>(idx, std::forward<Fn>(fn));
+    }
+    return fn(std::get<I>(stages_).get());
+  }
+
+  std::tuple<std::reference_wrapper<Stages>...> stages_;
+  std::unique_ptr<PerProc[]> per_proc_;
+};
+
+// Deduce the stage pack from the constructor arguments:
+//   StaticAbstractChain chain(n, split_stage, bakery_stage, cas_stage);
+template <class... Stages>
+StaticAbstractChain(int, Stages&...) -> StaticAbstractChain<Stages...>;
+
+}  // namespace scm

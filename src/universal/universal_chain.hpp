@@ -39,12 +39,9 @@ class UniversalChain {
 
   // Performs request m; wait-free iff the last stage never aborts.
   // Returns the committed response together with the stage that served
-  // it (for progress accounting in the benches).
-  struct Performed {
-    Response response = kNoResponse;
-    std::size_t stage = 0;
-    History history;  // the commit history
-  };
+  // it (for progress accounting in the benches). The result type is
+  // shared with StaticAbstractChain (abstract.hpp).
+  using Performed = ChainPerformed;
 
   Performed perform(Context& ctx, const Request& m) {
     PerProc& me = per_proc_[static_cast<std::size_t>(ctx.id())];

@@ -1,8 +1,8 @@
 // Cross-module integration and remaining-surface tests:
 //  * the biased lock (mutual exclusion, owner fast path, round flow);
 //  * A1 composed with itself (Section 6.3: "module A1 can also be
-//    composed with itself") and deeper chains via the Composed
-//    combinator;
+//    composed with itself") and deeper chains via the variadic
+//    pipeline combinator;
 //  * trace recorder ordering;
 //  * schedule policies' behavioural contracts;
 //  * crash injection through the full universal chain.
@@ -17,6 +17,7 @@
 #include "consensus/split_consensus.hpp"
 #include "core/interpretation.hpp"
 #include "core/module.hpp"
+#include "core/pipeline.hpp"
 #include "core/trace.hpp"
 #include "history/specs.hpp"
 #include "lincheck/lincheck.hpp"
@@ -112,7 +113,7 @@ TEST(BiasedLock, StepsPerUncontendedAcquireConstant) {
 
 TEST(Composed, A1WithItselfThenHardwareIsCorrect) {
   // Section 6.3: "module A1 can also be composed with itself". Build
-  // A1 ∘ (A1 ∘ A2) via the generic combinator and check TAS safety
+  // A1 ∘ A1 ∘ A2 via the variadic pipeline and check TAS safety
   // across schedules.
   for (std::uint64_t seed = 0; seed < 150; ++seed) {
     Simulator s;
@@ -120,10 +121,9 @@ TEST(Composed, A1WithItselfThenHardwareIsCorrect) {
     ObstructionFreeTas<SimPlatform> first;
     ObstructionFreeTas<SimPlatform> second;
     WaitFreeTas<SimPlatform> final_stage;
-    auto inner = compose(second, final_stage);
-    Composed<ObstructionFreeTas<SimPlatform>, decltype(inner)> chain(first,
-                                                                     inner);
+    auto chain = make_pipeline(first, second, final_stage);
     static_assert(decltype(chain)::kConsensusNumber == 2);
+    static_assert(decltype(chain)::kDepth == 3);
 
     std::vector<ModuleResult> rs(kN);
     for (int p = 0; p < kN; ++p) {
@@ -161,7 +161,7 @@ TEST(Composed, SoloPathNeverReachesSecondModule) {
   Simulator s;
   ObstructionFreeTas<SimPlatform> a1;
   WaitFreeTas<SimPlatform> a2;
-  auto chain = compose(a1, a2);
+  auto chain = make_pipeline(a1, a2);
   ModuleResult r;
   s.add_process([&](SimContext& ctx) { r = chain.invoke(ctx, tas_req(1, 0)); });
   sim::SequentialSchedule sched;
