@@ -1,0 +1,249 @@
+// Scenario compose.sharded (E12) — contention-vs-sharding surfaces for
+// composed pipelines. The paper's composition costs are measured on a
+// single contended instance; this scenario replicates a depth-d
+// pipeline across kShards cacheline-isolated shards (core/sharding.hpp,
+// ByKeyHash routing) and drives it with keyed operation streams
+// (workload/keyed.hpp), sweeping
+//
+//   shards in {1, 2, 4, 8}  x  zipf skew in {0, 0.99}
+//     x  threads in {1, --threads}  x  depth in {1, 4}.
+//
+// shards=1 is the paper's fully-contended baseline; uniform keys over
+// more shards approach the contention-free regime; zipf(0.99) pins
+// most of the stream to a few hot keys so added shards stop helping —
+// the three-way interaction the sharding layer exists to expose.
+//
+// Each shard is a FastPipeline of (d-1) aborting relays in front of an
+// RMW sink (one fetch_add — the contended cache line). Every operation
+// walks its shard's full chain and commits the hop count, so the
+// scenario simultaneously validates the switch plumbing (response ==
+// d-1 always), the routing (key -> shard is deterministic), and the
+// accounting (per-shard sink totals sum to exactly the offered ops;
+// the merged per-stage stats of a stats-enabled probe account for
+// every probe op).
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "bench/scenario.hpp"
+#include "core/pipeline.hpp"
+#include "core/sharding.hpp"
+#include "runtime/platform.hpp"
+#include "support/cacheline.hpp"
+#include "support/rng.hpp"
+#include "workload/keyed.hpp"
+
+namespace {
+
+using namespace scm;
+using namespace scm::bench;
+
+constexpr std::uint64_t kKeys = 128;
+constexpr std::size_t kMaxShards = 8;
+
+// Aborts after one counted register read, incrementing the hop count —
+// the composition plumbing under test (same shape as compose.depth's
+// relay, replicated per shard here).
+class ShardRelay {
+ public:
+  static constexpr int kConsensusNumber = kConsensusNumberRegister;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& /*m*/,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    (void)gate_.read(ctx);
+    return ModuleResult::abort_with(init.value_or(0) + 1);
+  }
+
+ private:
+  NativeRegister<int> gate_{0};
+};
+
+// Commits the inherited hop count after one fetch_add — the shard's
+// contended cache line. The counter doubles as the per-shard commit
+// tally the aggregate checks sum up.
+class RmwSink {
+ public:
+  static constexpr int kConsensusNumber = kConsensusNumberFetchAdd;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& /*m*/,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    (void)count_.fetch_add(ctx);
+    return ModuleResult::commit(init.value_or(0));
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_.peek(); }
+
+ private:
+  NativeCounter count_;
+};
+
+template <std::size_t D>
+struct PipeOf {
+  template <std::size_t>
+  using RelayAt = ShardRelay;
+
+  template <std::size_t... I>
+  static FastPipeline<RelayAt<I>..., RmwSink> probe_type(
+      std::index_sequence<I...>);
+  using type = decltype(probe_type(std::make_index_sequence<D - 1>{}));
+
+  template <std::size_t... I>
+  static Pipeline<RelayAt<I>..., RmwSink> stats_probe_type(
+      std::index_sequence<I...>);
+  using stats_type =
+      decltype(stats_probe_type(std::make_index_sequence<D - 1>{}));
+};
+
+Request keyed_req(ProcessId p, std::uint64_t i, std::uint64_t key) {
+  return Request{(static_cast<std::uint64_t>(p) << 40) | (i + 1), p, 0,
+                 static_cast<std::int64_t>(key)};
+}
+
+template <std::size_t D, std::size_t S>
+void run_cell(const BenchParams& params, double theta, int threads,
+              ScenarioResult& result, std::uint64_t& mismatches,
+              std::uint64_t& accounting_gaps, bool& routing_deterministic) {
+  using Pipe = typename PipeOf<D>::type;
+  Sharded<Pipe, S, ByKeyHash> sharded;
+  static_assert(decltype(sharded)::kDepth == D);
+  static_assert(decltype(sharded)::kConsensusNumber ==
+                    kConsensusNumberFetchAdd,
+                "the sink's fetch_add dominates the fold");
+
+  // Deterministic keyed streams: one Rng per thread (padded — the Rng
+  // state is written every draw), all drawing from one Zipf transform.
+  const workload::ZipfianKeys stream(kKeys, theta);
+  std::vector<Padded<Rng>> rngs;
+  rngs.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    rngs.emplace_back(Rng(params.seed ^ (0x5bd1e995ULL *
+                                         (static_cast<std::uint64_t>(t) + 1))));
+  }
+
+  // Routing determinism: the same key must reach the same shard from
+  // any context. (ByKeyHash ignores the issuer by construction; this
+  // pins it against regressions.)
+  {
+    NativeContext c0(0), c1(1);
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      const Request m = keyed_req(0, k, k);
+      const std::size_t via0 = sharded.route(c0, m);
+      if (via0 != sharded.route(c1, m) ||
+          via0 != sharded.route(c0, keyed_req(1, k + 7, k))) {
+        routing_deterministic = false;
+      }
+    }
+  }
+
+  std::atomic<std::uint64_t> bad{0};
+  std::string name = "d=" + std::to_string(D) +
+                     " shards=" + std::to_string(S) +
+                     " skew=" + std::to_string(theta).substr(0, 4) +
+                     " t=" + std::to_string(threads);
+  PhaseMetrics pm = measure_native(
+      std::move(name), threads, params.ops,
+      [&](NativeContext& ctx, std::uint64_t i) {
+        Rng& rng = rngs[static_cast<std::size_t>(ctx.id())].value;
+        const std::uint64_t key = stream(rng);
+        const ModuleResult r =
+            sharded.invoke(ctx, keyed_req(ctx.id(), i, key));
+        if (!r.committed() || r.response != static_cast<Response>(D - 1)) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  mismatches += bad.load(std::memory_order_relaxed);
+
+  // Accounting: each shard's sink counted exactly the ops routed to
+  // it; the totals must sum to the offered load.
+  std::uint64_t shard_total = 0;
+  std::uint64_t hottest = 0;
+  for (std::size_t s = 0; s < S; ++s) {
+    const std::uint64_t c = sharded.shard(s).template stage<D - 1>().count();
+    shard_total += c;
+    hottest = c > hottest ? c : hottest;
+  }
+  if (shard_total != pm.ops) ++accounting_gaps;
+
+  pm.extra["depth"] = static_cast<double>(D);
+  pm.extra["shards"] = static_cast<double>(S);
+  pm.extra["skew"] = theta;
+  pm.extra["hot_shard_share"] =
+      pm.ops == 0 ? 0.0
+                  : static_cast<double>(hottest) / static_cast<double>(pm.ops);
+  result.phases.push_back(std::move(pm));
+}
+
+// Unmeasured stats-enabled probe: the merged per-stage counters of a
+// sharded stats pipeline must account for every probe op (commits land
+// on the sink stage, one abort per relay stage per op), demonstrating
+// the PipelineCounters merge across shards.
+template <std::size_t D, std::size_t S>
+bool stats_probe() {
+  using StatsPipe = typename PipeOf<D>::stats_type;
+  Sharded<StatsPipe, S, ByKeyHash> probe;
+  constexpr std::uint64_t kProbeOps = 64;
+  NativeContext ctx(0);
+  Rng rng(7);
+  const workload::ZipfianKeys stream(kKeys, 0.99);
+  for (std::uint64_t i = 0; i < kProbeOps; ++i) {
+    (void)probe.invoke(ctx, keyed_req(0, i, stream(rng)));
+  }
+  const PipelineStageStats sink = probe.stats(D - 1);
+  bool ok = sink.commits == kProbeOps && sink.aborts == 0;
+  for (std::size_t st = 0; st + 1 < D; ++st) {
+    const PipelineStageStats relay = probe.stats(st);
+    ok = ok && relay.aborts == kProbeOps && relay.commits == 0;
+  }
+  return ok;
+}
+
+ScenarioResult run(const BenchParams& params) {
+  ScenarioResult result;
+  std::uint64_t mismatches = 0;
+  std::uint64_t accounting_gaps = 0;
+  bool routing_deterministic = true;
+
+  const std::array<double, 2> skews{0.0, 0.99};
+  std::vector<int> thread_points{1};
+  if (params.threads > 1) thread_points.push_back(params.threads);
+
+  [&]<std::size_t... SI>(std::index_sequence<SI...>) {
+    const auto sweep_depths = [&]<std::size_t S>() {
+      for (const double theta : skews) {
+        for (const int t : thread_points) {
+          run_cell<1, S>(params, theta, t, result, mismatches,
+                         accounting_gaps, routing_deterministic);
+          run_cell<4, S>(params, theta, t, result, mismatches,
+                         accounting_gaps, routing_deterministic);
+        }
+      }
+    };
+    (sweep_depths.template operator()<(std::size_t{1} << SI)>(), ...);
+  }(std::make_index_sequence<4>{});  // shards 1, 2, 4, 8
+
+  const bool probes_ok = stats_probe<4, 1>() && stats_probe<4, kMaxShards>();
+
+  result.claim =
+      "every keyed op commits its full-walk hop count on exactly one "
+      "shard; per-shard sink totals sum to the offered load; ByKeyHash "
+      "routing is deterministic; merged per-stage stats account for "
+      "every probe op";
+  result.claim_holds = mismatches == 0 && accounting_gaps == 0 &&
+                       routing_deterministic && probes_ok;
+  return result;
+}
+
+SCM_BENCH_REGISTER("compose.sharded", "E12",
+                   "contention-vs-sharding surface: shards 1..8 x zipf "
+                   "skew {0, 0.99} x threads x depth over sharded "
+                   "pipelines",
+                   Backend::kNative, run);
+
+}  // namespace

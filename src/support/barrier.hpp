@@ -12,6 +12,15 @@
 
 namespace scm {
 
+// The arrival count and the generation share ONE atomic word (low half
+// count, high half generation). An earlier revision kept them in two
+// atomics and had the last arriver reset the count with a relaxed
+// store before publishing the new generation — a reuse hazard: the
+// reset and the publish were separate writes, so a re-entering thread
+// could interleave its increment with the not-yet-ordered reset and a
+// round could release on a corrupted count. Packing both halves makes
+// the last arriver's reset-and-publish a single release store, and the
+// arriving fetch_add can never split across the two fields.
 class SpinBarrier {
  public:
   explicit SpinBarrier(int parties) noexcept : parties_(parties) {}
@@ -23,27 +32,35 @@ class SpinBarrier {
   // coordinator thread spin until everyone else is parked at the
   // barrier, act (e.g. timestamp), and only then arrive itself.
   [[nodiscard]] int arrived() const noexcept {
-    return arrived_.load(std::memory_order_acquire);
+    return static_cast<int>(state_.load(std::memory_order_acquire) &
+                            kCountMask);
   }
 
   // Blocks (spinning) until `parties` threads have arrived; reusable
   // across generations.
   void arrive_and_wait() noexcept {
-    const std::uint32_t generation =
-        generation_.load(std::memory_order_acquire);
-    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
-      arrived_.store(0, std::memory_order_relaxed);
-      generation_.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint64_t prev = state_.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint64_t generation = prev >> kGenerationShift;
+    if ((prev & kCountMask) + 1 == static_cast<std::uint64_t>(parties_)) {
+      // Last arriver: zero the count and bump the generation in one
+      // release store. No other thread can touch the word in between —
+      // all parties of this round have arrived, and re-entrants are
+      // gated on observing the new generation published here.
+      state_.store((generation + 1) << kGenerationShift,
+                   std::memory_order_release);
       return;
     }
-    while (generation_.load(std::memory_order_acquire) == generation) {
+    while ((state_.load(std::memory_order_acquire) >> kGenerationShift) ==
+           generation) {
     }
   }
 
  private:
+  static constexpr int kGenerationShift = 32;
+  static constexpr std::uint64_t kCountMask = 0xffffffffULL;
+
   const int parties_;
-  std::atomic<int> arrived_{0};
-  std::atomic<std::uint32_t> generation_{0};
+  std::atomic<std::uint64_t> state_{0};
 };
 
 }  // namespace scm

@@ -27,6 +27,13 @@ struct alignas(kCacheLineSize) Padded {
   Padded() = default;
   explicit Padded(T v) : value(std::move(v)) {}
 
+  // In-place construction, for immovable payloads (atomics, registers,
+  // pipelines of registers): the wrapped value is built directly from
+  // the forwarded constructor arguments, no move required.
+  template <class... Args>
+  explicit Padded(std::in_place_t, Args&&... args)
+      : value(std::forward<Args>(args)...) {}
+
   T& operator*() noexcept { return value; }
   const T& operator*() const noexcept { return value; }
   T* operator->() noexcept { return &value; }

@@ -53,7 +53,13 @@ class Samples {
     return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
   }
 
-  // Exact percentile (nearest-rank). q in [0, 100].
+  // Linearly interpolated percentile over the retained samples
+  // (NumPy's default "linear" method): q in [0, 100] maps to the
+  // fractional rank q/100 * (n-1), and the result interpolates between
+  // the two enclosing order statistics. Consequences the tests pin:
+  // p0 == min, p100 == max, a single sample answers every quantile,
+  // and two samples give the midpoint at p50 — NOT nearest-rank, whose
+  // jumps would make p99 of a 3-rep benchmark equal its max.
   [[nodiscard]] double percentile(double q) {
     if (samples_.empty()) return 0.0;
     sort_once();

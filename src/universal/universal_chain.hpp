@@ -35,6 +35,13 @@ class UniversalChain {
     SCM_CHECK_MSG(!stages_.empty(), "empty universal chain");
     per_proc_ = std::make_unique<PerProc[]>(
         static_cast<std::size_t>(num_processes));
+    // Size the per-stage commit tallies from the actual chain depth;
+    // a fixed-capacity default would make perform() write out of
+    // bounds on chains deeper than the guess.
+    for (int p = 0; p < num_processes; ++p) {
+      per_proc_[static_cast<std::size_t>(p)].commits_by_stage.resize(
+          stages_.size(), 0);
+    }
   }
 
   // Performs request m; wait-free iff the last stage never aborts.
@@ -87,8 +94,7 @@ class UniversalChain {
   struct alignas(kCacheLineSize) PerProc {
     std::size_t stage = 0;
     History pending_init;  // abort history awaiting the next stage
-    std::vector<std::uint64_t> commits_by_stage =
-        std::vector<std::uint64_t>(8, 0);
+    std::vector<std::uint64_t> commits_by_stage;  // sized in the ctor
   };
 
   std::vector<std::unique_ptr<AbstractStage<P>>> stages_;

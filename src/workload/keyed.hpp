@@ -1,0 +1,116 @@
+// Keyed operation streams for contention-sweep workloads.
+//
+// The paper's benchmarks hammer ONE shared instance; the sharded
+// composition layer (core/sharding.hpp) routes operations by key, so
+// the key distribution decides how much of the offered load lands on
+// the same shard. Two deterministic generators over the repository's
+// Rng cover the two ends of the axis:
+//
+//   * UniformKeys  — every key equally likely: load spreads across
+//     shards as evenly as the hash allows (the low-contention end);
+//   * ZipfianKeys  — Zipf(theta)-skewed draws: a handful of hot keys
+//     take most of the stream (theta 0.99 is the classic YCSB skew),
+//     concentrating load on the hot keys' shards no matter how many
+//     shards exist (the high-contention end).
+//
+// ZipfianKeys uses the Gray et al. quantile transform popularized by
+// YCSB: the harmonic normalizer zeta(n, theta) is precomputed once at
+// construction (O(n), done outside any measured region) and each draw
+// is then O(1) — one uniform double plus a pow. theta = 0 degenerates
+// to the exact uniform distribution, so one generator type sweeps the
+// whole skew axis. Both generators are pure functions of the Rng
+// stream: the same seed yields the same key sequence, keeping every
+// benchmark phase replayable from one printed seed.
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace scm::workload {
+
+// A key stream draws keys in [0, keys()) from a caller-owned Rng.
+template <class S>
+concept KeyStream = requires(S s, Rng& rng) {
+  { s(rng) } -> std::convertible_to<std::uint64_t>;
+  { s.keys() } -> std::convertible_to<std::uint64_t>;
+};
+
+class UniformKeys {
+ public:
+  explicit UniformKeys(std::uint64_t keys) : keys_(keys) {
+    SCM_CHECK_MSG(keys >= 1, "a key space needs at least one key");
+  }
+
+  [[nodiscard]] std::uint64_t keys() const noexcept { return keys_; }
+
+  std::uint64_t operator()(Rng& rng) const noexcept {
+    return rng.below(keys_);
+  }
+
+ private:
+  std::uint64_t keys_;
+};
+
+// Zipf(theta) over {0, ..., keys-1}, key 0 hottest. theta in [0, 1):
+// 0 is uniform, 0.99 the standard "heavy skew" operating point.
+class ZipfianKeys {
+ public:
+  ZipfianKeys(std::uint64_t keys, double theta)
+      : keys_(validated(keys, theta)),
+        theta_(theta),
+        alpha_(1.0 / (1.0 - theta)),
+        zetan_(zeta(keys, theta)),
+        eta_((1.0 - std::pow(2.0 / static_cast<double>(keys), 1.0 - theta)) /
+             (1.0 - zeta(keys < 2 ? keys : 2, theta) / zetan_)),
+        half_pow_theta_(std::pow(0.5, theta)) {}
+
+  [[nodiscard]] std::uint64_t keys() const noexcept { return keys_; }
+  [[nodiscard]] double skew() const noexcept { return theta_; }
+
+  std::uint64_t operator()(Rng& rng) const noexcept {
+    if (keys_ == 1) return 0;
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + half_pow_theta_) return 1;
+    const auto k = static_cast<std::uint64_t>(
+        static_cast<double>(keys_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return k >= keys_ ? keys_ - 1 : k;  // clamp FP edge at u -> 1
+  }
+
+ private:
+  // Runs before any derived constant is computed (keys_ is the first
+  // member), so invalid parameters hit a diagnostic, not NaNs.
+  [[nodiscard]] static std::uint64_t validated(std::uint64_t keys,
+                                               double theta) {
+    SCM_CHECK_MSG(keys >= 1, "a key space needs at least one key");
+    SCM_CHECK_MSG(theta >= 0.0 && theta < 1.0,
+                  "zipfian skew must lie in [0, 1)");
+    return keys;
+  }
+
+  // zeta(n, theta) = sum_{i=1..n} i^-theta (the harmonic normalizer).
+  [[nodiscard]] static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t keys_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;  // pow(0.5, theta), hoisted off the draw path
+};
+
+static_assert(KeyStream<UniformKeys>);
+static_assert(KeyStream<ZipfianKeys>);
+
+}  // namespace scm::workload

@@ -1,0 +1,108 @@
+// SpinBarrier reuse stress (support/barrier.hpp). The barrier used to
+// keep the arrival count and the generation in two atomics, resetting
+// the count with a relaxed store before publishing the generation —
+// reusing the barrier across rounds could then interleave a
+// re-entrant's increment with the reset and release a round early.
+// The count and generation now share one atomic word, so these tests
+// hammer exactly the reuse pattern: one barrier, many generations,
+// with an invariant that fails if any thread ever falls through a
+// round before all parties arrived. Run under the TSan CI job (label
+// "tsan") to also exercise the orderings.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/barrier.hpp"
+
+namespace scm {
+namespace {
+
+TEST(SpinBarrier, ReuseAcrossManyGenerationsNeverReleasesEarly) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kRounds = 300;
+
+  SpinBarrier barrier(kThreads);
+  std::atomic<std::uint64_t> arrivals{0};
+  std::atomic<bool> early_release{false};
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (std::uint64_t round = 0; round < kRounds; ++round) {
+        arrivals.fetch_add(1, std::memory_order_relaxed);
+        barrier.arrive_and_wait();
+        // All kThreads arrivals of this round must be visible; a
+        // barrier that releases early sees fewer. Threads racing ahead
+        // can add at most kThreads-1 increments of round+1 before the
+        // next barrier blocks them on this thread's own arrival.
+        const std::uint64_t seen = arrivals.load(std::memory_order_relaxed);
+        const std::uint64_t floor =
+            static_cast<std::uint64_t>(kThreads) * (round + 1);
+        if (seen < floor || seen >= floor + kThreads) {
+          early_release.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  EXPECT_FALSE(early_release.load());
+  EXPECT_EQ(arrivals.load(), static_cast<std::uint64_t>(kThreads) * kRounds);
+}
+
+TEST(SpinBarrier, CoordinatorPatternSurvivesReuse) {
+  // The workload driver's idiom: a coordinator spins on arrived()
+  // until every worker is parked, acts, then arrives itself — here
+  // repeated across generations on one barrier.
+  constexpr int kWorkers = 3;
+  constexpr std::uint64_t kRounds = 150;
+
+  SpinBarrier barrier(kWorkers + 1);
+  std::atomic<std::uint64_t> stamped{0};
+  std::atomic<std::uint64_t> observed_while_parked{0};
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kWorkers; ++t) {
+    pool.emplace_back([&] {
+      for (std::uint64_t round = 0; round < kRounds; ++round) {
+        barrier.arrive_and_wait();
+        // The coordinator stamped round+1 strictly before releasing us.
+        if (stamped.load(std::memory_order_relaxed) < round + 1) {
+          observed_while_parked.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (std::uint64_t round = 0; round < kRounds; ++round) {
+    while (barrier.arrived() != kWorkers) {
+    }
+    stamped.store(round + 1, std::memory_order_relaxed);
+    barrier.arrive_and_wait();
+  }
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(observed_while_parked.load(), 0u);
+  EXPECT_EQ(stamped.load(), kRounds);
+}
+
+TEST(SpinBarrier, ArrivedCountsOnlyTheCurrentGeneration) {
+  SpinBarrier barrier(2);
+  EXPECT_EQ(barrier.arrived(), 0);
+
+  std::thread other([&] { barrier.arrive_and_wait(); });
+  while (barrier.arrived() != 1) {
+  }
+  barrier.arrive_and_wait();
+  other.join();
+
+  // The round completed: the count was reset together with the
+  // generation publish, so a reused barrier starts from zero.
+  EXPECT_EQ(barrier.arrived(), 0);
+}
+
+}  // namespace
+}  // namespace scm

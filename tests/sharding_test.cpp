@@ -1,0 +1,442 @@
+// Tests for the sharded composition layer (core/sharding.hpp) and the
+// keyed operation streams (workload/keyed.hpp):
+//
+//  * routing policies are deterministic where promised (ByThread,
+//    ByKeyHash) and cycle where promised (RoundRobin);
+//  * a depth-2 A1∘A2 pipeline replicated across shards stays
+//    linearizable per shard under random schedules (each shard is the
+//    composed object the paper proves correct);
+//  * merged statistics equal the sum of the per-shard snapshots, for
+//    both pipeline stats and chain commit tallies;
+//  * Sharded composes: it is itself a ComposableModule, nests inside
+//    pipelines and inside another Sharded, and wraps
+//    StaticAbstractChain via per-shard constructor arguments;
+//  * keyed streams are deterministic, in-bounds, and skewed exactly
+//    when asked.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "consensus/cas_consensus.hpp"
+#include "consensus/split_consensus.hpp"
+#include "core/module.hpp"
+#include "core/pipeline.hpp"
+#include "core/sharding.hpp"
+#include "history/specs.hpp"
+#include "lincheck/lincheck.hpp"
+#include "runtime/context.hpp"
+#include "sim/schedules.hpp"
+#include "sim/sim_platform.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+#include "tas/a1_module.hpp"
+#include "tas/a2_module.hpp"
+#include "universal/composable_universal.hpp"
+#include "universal/static_chain.hpp"
+#include "workload/keyed.hpp"
+
+namespace scm {
+namespace {
+
+using sim::SimContext;
+using sim::SimPlatform;
+using sim::Simulator;
+
+using A1 = ObstructionFreeTas<SimPlatform>;
+using A2 = WaitFreeTas<SimPlatform>;
+
+// Plumbing-only modules (no shared-memory steps), as in pipeline_test.
+struct HopModule {
+  static constexpr int kConsensusNumber = kConsensusNumberRegister;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& /*ctx*/, const Request& /*m*/,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    return ModuleResult::abort_with(init.value_or(0) + 1);
+  }
+};
+
+struct SinkModule {
+  static constexpr int kConsensusNumber = kConsensusNumberRegister;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& /*ctx*/, const Request& /*m*/,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    return ModuleResult::commit(init.value_or(0));
+  }
+};
+
+Request keyed_req(std::uint64_t id, ProcessId p, std::uint64_t key) {
+  return Request{id, p, TasSpec::kTestAndSet,
+                 static_cast<std::int64_t>(key)};
+}
+
+// ---------------------------------------------------------------------------
+// Static properties
+
+TEST(Sharded, IsItselfAComposableModuleAndInheritsStaticTags) {
+  using Pipe = Pipeline<HopModule, SinkModule>;
+  using S = Sharded<Pipe, 4, ByKeyHash>;
+  static_assert(S::kShardCount == 4);
+  static_assert(S::kDepth == Pipe::kDepth);
+  static_assert(S::kConsensusNumber == Pipe::kConsensusNumber,
+                "replication cannot raise consensus power");
+  static_assert(ComposableModule<S, NativeContext>);
+  static_assert(!std::is_polymorphic_v<S>);
+
+  // Nesting: a shard may itself be sharded, and the result is still a
+  // module.
+  using Nested = Sharded<S, 2, ByThread>;
+  static_assert(Nested::kConsensusNumber == Pipe::kConsensusNumber);
+  static_assert(ComposableModule<Nested, NativeContext>);
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Routing policies
+
+TEST(Sharded, ByThreadRoutesEachProcessToItsResidueClass) {
+  Sharded<Pipeline<SinkModule>, 4, ByThread> sharded;
+  for (int pid = 0; pid < 12; ++pid) {
+    NativeContext ctx(static_cast<ProcessId>(pid));
+    const Request m = keyed_req(static_cast<std::uint64_t>(pid) + 1,
+                                static_cast<ProcessId>(pid), 99);
+    EXPECT_EQ(sharded.route(ctx, m), static_cast<std::size_t>(pid % 4));
+    // Stable across repeated calls and independent of the key.
+    EXPECT_EQ(sharded.route(ctx, m),
+              sharded.route(ctx, keyed_req(500 + static_cast<std::uint64_t>(
+                                                     pid),
+                                           static_cast<ProcessId>(pid), 7)));
+  }
+}
+
+TEST(Sharded, ByKeyHashIsDeterministicPerKeyAndIssuerIndependent) {
+  Sharded<Pipeline<SinkModule>, 8, ByKeyHash> sharded;
+  NativeContext c0(0), c5(5);
+  std::array<bool, 8> hit{};
+  for (std::uint64_t key = 0; key < 256; ++key) {
+    const std::size_t via0 = sharded.route(c0, keyed_req(key + 1, 0, key));
+    const std::size_t via5 =
+        sharded.route(c5, keyed_req(key + 1000, 5, key));
+    EXPECT_EQ(via0, via5) << "key " << key;
+    EXPECT_LT(via0, 8u);
+    hit[via0] = true;
+  }
+  // The mixer spreads 256 keys over all 8 shards.
+  for (std::size_t s = 0; s < 8; ++s) EXPECT_TRUE(hit[s]) << "shard " << s;
+}
+
+TEST(Sharded, RoundRobinCyclesThroughAllShards) {
+  Sharded<Pipeline<SinkModule>, 3, RoundRobin> sharded;
+  NativeContext ctx(0);
+  for (int lap = 0; lap < 4; ++lap) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      EXPECT_EQ(sharded.route(ctx, keyed_req(1, 0, 0)), s);
+    }
+  }
+}
+
+TEST(Sharded, InvokeAtRunsOnTheNamedShardWithoutConsultingThePolicy) {
+  // The attribution pattern: route once, run on exactly that shard.
+  // With a stateful policy a second consultation would advance the
+  // cursor, so invoke_at must not route again.
+  Sharded<Pipeline<HopModule, SinkModule>, 3, RoundRobin> sharded;
+  NativeContext ctx(0);
+  for (int i = 0; i < 6; ++i) {
+    const Request m = keyed_req(static_cast<std::uint64_t>(i) + 1, 0, 0);
+    const std::size_t s = sharded.route(ctx, m);
+    EXPECT_EQ(s, static_cast<std::size_t>(i % 3));
+    EXPECT_EQ(sharded.invoke_at(s, ctx, m).response, 1);
+    EXPECT_EQ(sharded.shard(s).stats(1).commits,
+              static_cast<std::uint64_t>(i / 3) + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard isolation and linearizability
+
+TEST(Sharded, ShardsAreIndependentInstances) {
+  // Two ByThread shards of a hop->sink pipeline: operations on shard 0
+  // never touch shard 1's counters.
+  Sharded<Pipeline<HopModule, SinkModule>, 2, ByThread> sharded;
+  NativeContext even(0), odd(1);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sharded.invoke(even, keyed_req(static_cast<std::uint64_t>(i) +
+                                                 1,
+                                             0, 0))
+                  .response,
+              1);
+  }
+  EXPECT_EQ(sharded.invoke(odd, keyed_req(100, 1, 0)).response, 1);
+
+  EXPECT_EQ(sharded.shard(0).stats(1).commits, 3u);
+  EXPECT_EQ(sharded.shard(1).stats(1).commits, 1u);
+}
+
+TEST(Sharded, EachShardStaysLinearizableUnderRandomSchedules) {
+  // Depth-2 A1∘A2 TAS per shard, ByKeyHash routing: every key's
+  // operations land on one shard, so each shard's recorded history
+  // must linearize against the TAS spec on its own (Theorem 4 shape,
+  // replicated).
+  constexpr std::size_t kShards = 2;
+  constexpr int kN = 4;  // processes; keys chosen to cover both shards
+
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Simulator s;
+    Sharded<Pipeline<A1, A2>, kShards, ByKeyHash> sharded;
+
+    // Map each process to a key such that both shards receive traffic.
+    std::array<std::uint64_t, kN> key_of{};
+    std::array<std::size_t, kN> shard_of{};
+    {
+      NativeContext probe(0);
+      std::size_t want = 0;
+      std::uint64_t next_key = 0;
+      for (int p = 0; p < kN; ++p) {
+        for (;; ++next_key) {
+          const std::size_t sh = sharded.route(
+              probe, keyed_req(1, 0, next_key));
+          if (sh == want % kShards) {
+            key_of[static_cast<std::size_t>(p)] = next_key++;
+            shard_of[static_cast<std::size_t>(p)] = sh;
+            ++want;
+            break;
+          }
+        }
+      }
+    }
+
+    std::vector<ModuleResult> rs(kN);
+    for (int p = 0; p < kN; ++p) {
+      s.add_process([&, p](SimContext& ctx) {
+        const Request m = keyed_req(static_cast<std::uint64_t>(p) + 1, p,
+                                    key_of[static_cast<std::size_t>(p)]);
+        ctx.begin_op();
+        rs[static_cast<std::size_t>(p)] = sharded.invoke(ctx, m);
+        ctx.end_op(rs[static_cast<std::size_t>(p)].response);
+      });
+    }
+    sim::RandomSchedule sched(seed * 31 + 5);
+    s.run(sched);
+
+    // Exactly one winner per shard, and each shard's history
+    // linearizes independently.
+    for (std::size_t sh = 0; sh < kShards; ++sh) {
+      int winners = 0;
+      std::vector<ConcurrentOp> ops;
+      for (const auto& rec : s.ops()) {
+        const auto p = static_cast<std::size_t>(rec.pid);
+        if (shard_of[p] != sh) continue;
+        ASSERT_TRUE(rs[p].committed()) << "seed " << seed;
+        if (rs[p].response == TasSpec::kWinner) ++winners;
+        ConcurrentOp op;
+        op.pid = rec.pid;
+        op.request = keyed_req(static_cast<std::uint64_t>(rec.pid) + 1,
+                               rec.pid, key_of[p]);
+        op.response = rec.output;
+        op.invoke = rec.invoke_event;
+        op.ret = rec.response_event;
+        op.completed = rec.complete;
+        ops.push_back(op);
+      }
+      ASSERT_FALSE(ops.empty()) << "seed " << seed << " shard " << sh;
+      EXPECT_EQ(winners, 1) << "seed " << seed << " shard " << sh;
+      ASSERT_TRUE(linearizable<TasSpec>(std::move(ops)))
+          << "seed " << seed << " shard " << sh;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Merged statistics
+
+TEST(Sharded, AggregateStatsEqualSumOfPerShardSnapshots) {
+  constexpr std::size_t kShards = 4;
+  Sharded<Pipeline<HopModule, SinkModule>, kShards, ByThread> sharded;
+
+  // Uneven load: process p issues p+1 operations.
+  constexpr int kN = 6;
+  for (int p = 0; p < kN; ++p) {
+    NativeContext ctx(static_cast<ProcessId>(p));
+    for (int i = 0; i <= p; ++i) {
+      const auto id = static_cast<std::uint64_t>(p) * 100 +
+                      static_cast<std::uint64_t>(i) + 1;
+      (void)sharded.invoke(ctx, keyed_req(id, static_cast<ProcessId>(p), 0));
+    }
+  }
+
+  constexpr std::uint64_t kTotal = kN * (kN + 1) / 2;  // 21
+  for (std::size_t stage = 0; stage < 2; ++stage) {
+    PipelineStageStats sum;
+    for (std::size_t sh = 0; sh < kShards; ++sh) {
+      const PipelineStageStats one = sharded.shard(sh).stats(stage);
+      sum.commits += one.commits;
+      sum.aborts += one.aborts;
+    }
+    const PipelineStageStats agg = sharded.stats(stage);
+    EXPECT_EQ(agg.commits, sum.commits) << "stage " << stage;
+    EXPECT_EQ(agg.aborts, sum.aborts) << "stage " << stage;
+  }
+  EXPECT_EQ(sharded.stats(0).aborts, kTotal);   // every op hops once
+  EXPECT_EQ(sharded.stats(1).commits, kTotal);  // and commits at the sink
+
+  sharded.reset_stats();
+  EXPECT_EQ(sharded.stats(0).invocations(), 0u);
+  EXPECT_EQ(sharded.stats(1).invocations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Composition with pipelines and chains
+
+TEST(Sharded, NestsInsideAPipelineAsAStage) {
+  // A sharded all-abort front tier in front of a shared sink: the
+  // combinator composes like any module (Theorem 2 applied to the
+  // sharded object).
+  Sharded<Pipeline<HopModule, HopModule>, 2, ByThread> front;
+  SinkModule sink;
+  auto pipe = make_pipeline(front, sink);
+  static_assert(decltype(pipe)::kDepth == 2);
+
+  NativeContext ctx(1);
+  const ModuleResult r = pipe.invoke(ctx, keyed_req(1, 1, 0));
+  EXPECT_TRUE(r.committed());
+  EXPECT_EQ(r.response, 2);  // both hops of shard 1 ran
+  EXPECT_EQ(front.shard(1).stats(1).aborts, 1u);
+  EXPECT_EQ(front.shard(0).stats(0).invocations(), 0u);
+}
+
+TEST(Sharded, WrapsStaticAbstractChainWithPerShardArguments) {
+  using SplitStage = ComposableUniversal<SimPlatform, CounterSpec,
+                                         SplitConsensus<SimPlatform>, 48>;
+  using CasStage = ComposableUniversal<SimPlatform, CounterSpec,
+                                       CasConsensus<SimPlatform>, 48>;
+  using Chain = StaticAbstractChain<SplitStage, CasStage>;
+  constexpr int kN = 2;
+
+  SplitStage split0(kN, 48, "split0"), split1(kN, 48, "split1");
+  CasStage cas0(kN, 48, "cas0"), cas1(kN, 48, "cas1");
+  Sharded<Chain, 2, ByThread> sharded(
+      std::in_place, [&](std::size_t shard) {
+        return shard == 0 ? std::forward_as_tuple(kN, split0, cas0)
+                          : std::forward_as_tuple(kN, split1, cas1);
+      });
+  EXPECT_EQ(sharded.consensus_number(), kConsensusNumberCas);
+
+  // Each process drives its own shard's counter: two independent
+  // fetch&inc sequences, each starting at zero.
+  Simulator s;
+  std::array<std::vector<Response>, kN> got;
+  for (int p = 0; p < kN; ++p) {
+    s.add_process([&, p](SimContext& ctx) {
+      for (int i = 0; i < 3; ++i) {
+        const auto id = static_cast<std::uint64_t>(p) * 100 +
+                        static_cast<std::uint64_t>(i) + 1;
+        got[static_cast<std::size_t>(p)].push_back(
+            sharded
+                .perform(ctx, Request{id, p, CounterSpec::kFetchInc, 0})
+                .response);
+      }
+      // The explicit-shard chain surface continues the same shard's
+      // sequence (ByThread maps process p to shard p here).
+      got[static_cast<std::size_t>(p)].push_back(
+          sharded
+              .perform_at(static_cast<std::size_t>(p), ctx,
+                          Request{static_cast<std::uint64_t>(p) * 100 + 99, p,
+                                  CounterSpec::kFetchInc, 0})
+              .response);
+    });
+  }
+  sim::RandomSchedule sched(11);
+  s.run(sched);
+
+  for (int p = 0; p < kN; ++p) {
+    EXPECT_EQ(got[static_cast<std::size_t>(p)],
+              (std::vector<Response>{0, 1, 2, 3}))
+        << "p" << p;
+  }
+
+  // Chain accounting merges across shards: all eight commits are
+  // visible through the aggregate, and they sum over the per-shard
+  // tallies.
+  std::uint64_t agg = 0;
+  for (std::size_t st = 0; st < 2; ++st) {
+    for (int p = 0; p < kN; ++p) {
+      std::uint64_t per_shard = 0;
+      for (std::size_t sh = 0; sh < 2; ++sh) {
+        per_shard += sharded.shard(sh).commits_by(p, st);
+      }
+      EXPECT_EQ(sharded.commits_by(p, st), per_shard);
+      agg += per_shard;
+    }
+  }
+  EXPECT_EQ(agg, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Keyed streams
+
+TEST(KeyedStreams, UniformDrawsAreInBoundsAndDeterministic) {
+  const workload::UniformKeys keys(37);
+  Rng a(123), b(123), c(124);
+  bool any_diff = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t ka = keys(a);
+    EXPECT_LT(ka, 37u);
+    EXPECT_EQ(ka, keys(b));  // same seed, same stream
+    if (ka != keys(c)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);  // different seed, different stream
+}
+
+TEST(KeyedStreams, ZipfianSkewConcentratesOnHotKeys) {
+  constexpr std::uint64_t kKeys = 64;
+  constexpr int kDraws = 20000;
+
+  const auto histogram = [&](double theta) {
+    const workload::ZipfianKeys keys(kKeys, theta);
+    std::array<int, kKeys> h{};
+    Rng rng(7);
+    for (int i = 0; i < kDraws; ++i) {
+      const std::uint64_t k = keys(rng);
+      EXPECT_LT(k, kKeys);
+      ++h[k];
+    }
+    return h;
+  };
+
+  const auto uniform = histogram(0.0);
+  const auto skewed = histogram(0.99);
+
+  // theta = 0 degenerates to uniform: no key takes a large multiple of
+  // its fair share.
+  constexpr double kFair = static_cast<double>(kDraws) / kKeys;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_LT(uniform[k], 2.0 * kFair) << "key " << k;
+  }
+  // theta = 0.99: key 0 is hot (many times its fair share) and the
+  // head dominates the tail.
+  EXPECT_GT(skewed[0], 5.0 * kFair);
+  // Zipf(0.99) over 64 keys gives the top four keys ~45% of the mass
+  // (vs 6.25% uniform).
+  const int head = skewed[0] + skewed[1] + skewed[2] + skewed[3];
+  EXPECT_GT(head, kDraws / 3);
+  EXPECT_GT(skewed[0], skewed[kKeys - 1]);
+}
+
+TEST(KeyedStreams, ZipfianIsDeterministicAndHandlesOneKey) {
+  const workload::ZipfianKeys a(64, 0.99), b(64, 0.99);
+  Rng ra(99), rb(99);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(a(ra), b(rb));
+
+  const workload::ZipfianKeys one(1, 0.5);
+  Rng r(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(one(r), 0u);
+}
+
+}  // namespace
+}  // namespace scm

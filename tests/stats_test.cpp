@@ -1,0 +1,87 @@
+// Pins the Samples::percentile semantics (support/stats.hpp): linearly
+// interpolated quantiles (NumPy's default "linear" method), NOT
+// nearest-rank — the header used to claim nearest-rank while the code
+// interpolated; these tests fix the contract on known vectors,
+// including the 1- and 2-sample inputs that feed Summary for
+// low-repetition benchmark runs.
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+namespace scm {
+namespace {
+
+TEST(Samples, EmptyAnswersZeroEverywhere) {
+  Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Samples, SingleSampleAnswersEveryQuantile) {
+  Samples s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 7.0);
+
+  const Summary sum = s.summary();
+  EXPECT_DOUBLE_EQ(sum.min, 7.0);
+  EXPECT_DOUBLE_EQ(sum.median, 7.0);
+  EXPECT_DOUBLE_EQ(sum.p99, 7.0);
+  EXPECT_DOUBLE_EQ(sum.mean, 7.0);
+}
+
+TEST(Samples, TwoSamplesInterpolateLinearly) {
+  Samples s;
+  s.add(20.0);
+  s.add(10.0);  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 15.0);  // midpoint, not a jump
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 19.9);  // nearest-rank would say 20
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 20.0);
+
+  const Summary sum = s.summary();
+  EXPECT_DOUBLE_EQ(sum.median, 15.0);
+  EXPECT_DOUBLE_EQ(sum.p99, 19.9);
+  EXPECT_DOUBLE_EQ(sum.mean, 15.0);
+}
+
+TEST(Samples, KnownVectorQuantiles) {
+  // {10, 20, 30, 40, 50}: rank(q) = q/100 * 4.
+  Samples s;
+  for (double x : {30.0, 10.0, 50.0, 20.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 20.0);  // exact order statistic
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(62.5), 35.0);  // between ranks 2 and 3
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.median(), 30.0);
+}
+
+TEST(Samples, P99InterpolatesBelowMaxOnHundredSamples) {
+  // 1..100: rank(99) = 0.99 * 99 = 98.01, between the 99th and 100th
+  // order statistics — 99 + 0.01 * (100 - 99).
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.percentile(99.0), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+}
+
+TEST(Samples, AddAfterQueryResortsBeforeTheNextQuery) {
+  Samples s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(2.0);  // arrives unsorted after a sorted query
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 3.0);
+}
+
+}  // namespace
+}  // namespace scm

@@ -424,5 +424,69 @@ TEST(UniversalChain, ConsensusNumberReportsStrongestStage) {
   EXPECT_EQ(chain->consensus_number(), kConsensusNumberCas);
 }
 
+// A stage stub that aborts until the chain reaches the final stage —
+// the minimal driver for deep-chain accounting.
+class AbortingStub final : public AbstractStage<SimPlatform> {
+ public:
+  explicit AbortingStub(bool commits) : commits_(commits) {}
+
+  AbstractResult invoke(SimContext& /*ctx*/, const Request& m,
+                        const History& init) override {
+    AbstractResult r;
+    r.history = init;
+    r.history.append_if_absent(m);
+    if (commits_) {
+      r.outcome = Outcome::kCommit;
+      r.response = static_cast<Response>(r.history.size());
+    } else {
+      r.outcome = Outcome::kAbort;
+    }
+    return r;
+  }
+
+  [[nodiscard]] int consensus_number() const override {
+    return kConsensusNumberRegister;
+  }
+  [[nodiscard]] const char* name() const override {
+    return commits_ ? "commit-stub" : "abort-stub";
+  }
+
+ private:
+  bool commits_;
+};
+
+// Regression: the per-process commit tallies used to be hard-coded to
+// capacity 8, so a chain with more stages wrote (and read) out of
+// bounds once a process fell through to stage 8+. The tallies are now
+// sized from the actual stage count.
+TEST(UniversalChain, DeepChainAccountsCommitsBeyondEightStages) {
+  constexpr std::size_t kStages = 10;
+  std::vector<std::unique_ptr<AbstractStage<SimPlatform>>> stages;
+  for (std::size_t i = 0; i + 1 < kStages; ++i) {
+    stages.push_back(std::make_unique<AbortingStub>(false));
+  }
+  stages.push_back(std::make_unique<AbortingStub>(true));
+  UniversalChain<SimPlatform, CounterSpec> chain(2, std::move(stages));
+
+  Simulator s;
+  UniversalChain<SimPlatform, CounterSpec>::Performed r0, r1;
+  s.add_process([&](SimContext& ctx) { r0 = chain.perform(ctx, req(1, 0)); });
+  s.add_process([&](SimContext& ctx) { r1 = chain.perform(ctx, req(2, 1)); });
+  sim::SequentialSchedule sched;
+  s.run(sched);
+
+  // Both processes fell through all nine aborting stages and committed
+  // on the tenth; the tally for stage 9 must hold exactly that commit
+  // (indexing it was UB before the fix).
+  EXPECT_EQ(r0.stage, kStages - 1);
+  EXPECT_EQ(r1.stage, kStages - 1);
+  for (std::size_t st = 0; st + 1 < kStages; ++st) {
+    EXPECT_EQ(chain.commits_by(0, st), 0u) << "stage " << st;
+    EXPECT_EQ(chain.commits_by(1, st), 0u) << "stage " << st;
+  }
+  EXPECT_EQ(chain.commits_by(0, kStages - 1), 1u);
+  EXPECT_EQ(chain.commits_by(1, kStages - 1), 1u);
+}
+
 }  // namespace
 }  // namespace scm
