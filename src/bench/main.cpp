@@ -20,6 +20,7 @@
 #include "bench/registry.hpp"
 #include "bench/runner.hpp"
 #include "support/table.hpp"
+#include "workload/driver.hpp"
 
 namespace {
 
@@ -40,6 +41,8 @@ void print_usage() {
       "                     | <seed> (random with that seed; default "
       "random)\n"
       "  --seed=N           base RNG seed                     (default 42)\n"
+      "  --pin              pin scm-worker-N threads to cores (native\n"
+      "                     scenarios; recorded in the JSON report)\n"
       "  --json=FILE        write the scm-bench/v1 report to FILE\n"
       "  --help             this text\n");
 }
@@ -82,6 +85,8 @@ int main(int argc, char** argv) {
       params.schedule = value;
     } else if (parse_flag(arg, "--seed", &value)) {
       params.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--pin") {
+      params.pin = true;
     } else if (parse_flag(arg, "--json", &value)) {
       json_path = value;
     } else {
@@ -104,6 +109,7 @@ int main(int argc, char** argv) {
                  params.schedule.c_str());
     return 2;
   }
+  workload::set_pin_workers(params.pin);
 
   const std::vector<ScenarioDef> defs = sorted_registry();
   if (list_only) {

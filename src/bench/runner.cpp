@@ -112,7 +112,8 @@ void write_json(const RunReport& report, std::ostream& os) {
       .kv("reps", report.params.reps)
       .kv("warmup", report.params.warmup)
       .kv("schedule", report.params.schedule)
-      .kv("seed", report.params.seed);
+      .kv("seed", report.params.seed)
+      .kv("pin", report.params.pin);
   w.end_object();
 
   w.key("scenarios").begin_array();

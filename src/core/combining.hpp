@@ -1,0 +1,325 @@
+// Flat-combining composition (the batching counterpart of Sharded's
+// replication): wrap any ComposableModule in a publication array and
+// let ONE elected combiner execute everyone's pending requests through
+// the batch invocation path (core/batch.hpp).
+//
+// Combining<Obj, kSlots, Policy> is a combinator, not an algorithm:
+// each operation publishes its request into a cacheline-padded slot
+// (one release store), then either waits for a combiner to serve it or
+// — whenever the TAS-elected combiner lock is free — becomes the
+// combiner itself, draining every pending slot through
+// run_batch(obj, ...) in one pass. Under contention the composed-chain
+// walk that every process used to pay per operation is paid once per
+// batch by the combiner, which also keeps the wrapped object's cache
+// lines local to one core instead of bouncing them between all
+// publishers (Hendler/Incze/Shavit/Tzafrir's flat combining, applied
+// to the paper's composition chains).
+//
+// Semantics: the combiner executes the batch sequentially while
+// holding the election lock, so every operation — published or run on
+// the lock-free fast path — takes effect at one point inside its
+// invoke/return interval: the wrapped object's linearizability is
+// preserved, and a single-threaded caller gets bit-identical results
+// to invoking the object directly (combining_test and the
+// compose.batched scenario pin both properties). Note the combiner
+// executes published requests under its OWN context: per-op step
+// counters accrue to the serving thread, and requests carry their
+// issuer in Request::issuer.
+//
+// Combining forwards the module surface (invoke + kConsensusNumber,
+// plus stats()/commits_by() when Obj has them), so it is itself a
+// ComposableModule and nests inside Sharded — per-shard combiners are
+// the roadmap's "per-shard batch queues".
+//
+// Platform note: publishers BLOCK (spin, with periodic yields) on the
+// combiner's progress, which is incompatible with the deterministic
+// simulator's step-granting scheduler — Combining is a native-platform
+// combinator. Like SpinBarrier, the unbounded spin loads are not
+// counted as steps; the slot-claim and pending-hint RMWs, the publish
+// write, the result read, the combiner-election RMW, and the
+// combiner's slot scan/writeback are (they are the algorithm's real
+// per-operation shared-memory traffic).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "core/batch.hpp"
+#include "core/module.hpp"
+#include "core/sharding.hpp"
+#include "history/request.hpp"
+#include "runtime/ids.hpp"
+#include "support/assert.hpp"
+#include "support/cacheline.hpp"
+
+namespace scm {
+
+namespace detail {
+
+// The wrapper's own base objects are the publication registers plus a
+// TAS-elected combiner lock, so the composition's consensus number is
+// the max of the wrapped object's and TAS's.
+template <class Obj, class = void>
+struct CombiningConsensusBase {};
+
+template <class Obj>
+struct CombiningConsensusBase<Obj,
+                              std::void_t<decltype(Obj::kConsensusNumber)>> {
+  static constexpr int kConsensusNumber =
+      std::max(Obj::kConsensusNumber, kConsensusNumberTas);
+};
+
+// Spin-wait pacing: mostly relaxed re-reads (the watched line is
+// cache-local until the writer invalidates it), with a periodic yield
+// so oversubscribed cores hand the timeslice to the thread being
+// waited on instead of burning it.
+inline void combining_backoff(int& spins) noexcept {
+  if (++spins >= 64) {
+    spins = 0;
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace detail
+
+template <class Obj, std::size_t kSlots, class Policy = ByThread>
+class Combining : public detail::CombiningConsensusBase<Obj>,
+                  public detail::ShardedDepthBase<Obj> {
+  static_assert(kSlots >= 1, "a combining wrapper needs at least one slot");
+
+ public:
+  static constexpr std::size_t kSlotCount = kSlots;
+
+  Combining()
+    requires std::is_default_constructible_v<Obj>
+      : obj_{} {}
+
+  // In-place construction for wrapped objects with constructor
+  // parameters (chains, pipelines of referenced modules).
+  template <class... Args>
+  explicit Combining(std::in_place_t, Args&&... args)
+      : obj_(std::in_place, std::forward<Args>(args)...) {}
+
+  Combining(const Combining&) = delete;
+  Combining& operator=(const Combining&) = delete;
+
+  // Module surface: publish, then wait to be served or combine. The
+  // policy maps (context, request) to a publication slot — the same
+  // concept as shard routing, and ByThread (the default) gives every
+  // thread a private slot whenever threads <= kSlots. With more
+  // threads than slots, a colliding publisher waits for the slot
+  // owner's round trip (the owner is itself guaranteed to be served or
+  // to combine, so the wait is bounded by combiner progress).
+  template <class Ctx>
+    requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& m,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    // Fast path: the combiner lock is free — run the operation
+    // directly (a batch of one, no publication round trip), then
+    // serve anyone who published while we held the lock. At low
+    // contention this makes the wrapper cost one TAS + one scan; at
+    // high contention the lock is rarely free, so operations take the
+    // publication path below and get batched.
+    if (!lock_.value.load(std::memory_order_relaxed) &&
+        !lock_.value.exchange(true, std::memory_order_acquire)) {
+      ctx.on_rmw();
+      const ModuleResult r = obj_.value.invoke(ctx, m, init);
+      direct_ops_.fetch_add(1, std::memory_order_relaxed);
+      combine(ctx);
+      lock_.value.store(false, std::memory_order_release);
+      return r;
+    }
+
+    // The slot policy is consulted on the publication path only (the
+    // fast path touches no slot); a load-tracking policy's counters
+    // therefore see published ops, and its on_complete hook fires
+    // after the slot round trip below.
+    const std::size_t idx = policy_(ctx, m, kSlots);
+    SCM_CHECK_MSG(idx < kSlots, "slot policy produced an out-of-range slot");
+    Slot& slot = slots_[idx].value;
+
+    // Claim the publication record (one RMW, counted once for the
+    // claim as a whole — retries under slot collision spin uncounted,
+    // like every other wait loop here).
+    int spins = 0;
+    std::uint32_t expected = kFree;
+    while (!slot.status.compare_exchange_weak(expected, kClaimed,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed)) {
+      expected = kFree;
+      detail::combining_backoff(spins);
+    }
+    ctx.on_rmw();
+
+    // Publish: the request/init fields are plain writes ordered by the
+    // release store of kPending — the operation's one mandatory
+    // shared-memory step on the fast path.
+    slot.request = m;
+    slot.init = init;
+    // The pending hint lets an uncontended combiner skip the slot scan
+    // entirely; incremented before the slot turns pending so the count
+    // is conservative (never zero while a publication is visible), and
+    // decremented by whichever combiner serves the op.
+    ctx.on_rmw();
+    pending_hint_.value.fetch_add(1, std::memory_order_relaxed);
+    ctx.on_write();
+    slot.status.store(kPending, std::memory_order_release);
+
+    // Wait to be served, electing ourselves combiner whenever the lock
+    // is free (test-and-test-and-set). Our own slot is pending
+    // throughout, so our combine() pass serves at least ourselves.
+    spins = 0;
+    while (slot.status.load(std::memory_order_acquire) != kDone) {
+      if (!lock_.value.load(std::memory_order_relaxed) &&
+          !lock_.value.exchange(true, std::memory_order_acquire)) {
+        ctx.on_rmw();
+        combine(ctx);
+        lock_.value.store(false, std::memory_order_release);
+        continue;
+      }
+      detail::combining_backoff(spins);
+    }
+
+    ctx.on_read();
+    const ModuleResult r = slot.result;
+    slot.status.store(kFree, std::memory_order_release);
+    // Load-tracking policies (ByLeastLoaded) get their completion
+    // callback once the slot round trip is over, mirroring
+    // Sharded::invoke. Compiled out for stateless policies.
+    if constexpr (requires(Policy& p) { p.on_complete(idx); }) {
+      policy_.on_complete(idx);
+    }
+    return r;
+  }
+
+  [[nodiscard]] Obj& object() noexcept { return obj_.value; }
+  [[nodiscard]] const Obj& object() const noexcept { return obj_.value; }
+
+  // The slot policy instance, for inspection (e.g. ByLeastLoaded's
+  // in-flight counters — consulted on the publication path only).
+  [[nodiscard]] Policy& policy() noexcept { return policy_; }
+  [[nodiscard]] const Policy& policy() const noexcept { return policy_; }
+
+  // ---- combining telemetry (relaxed; written only by combiners).
+
+  // Number of combiner passes that served at least one operation.
+  [[nodiscard]] std::uint64_t combine_rounds() const noexcept {
+    return rounds_.load(std::memory_order_relaxed);
+  }
+  // Operations served across all passes; divided by combine_rounds()
+  // this is the achieved batch size — the amortization factor.
+  [[nodiscard]] std::uint64_t combined_ops() const noexcept {
+    return batched_ops_.load(std::memory_order_relaxed);
+  }
+  // Operations that took the uncontended fast path (lock free, no
+  // publication). direct_ops() + combined_ops() == total invocations.
+  [[nodiscard]] std::uint64_t direct_ops() const noexcept {
+    return direct_ops_.load(std::memory_order_relaxed);
+  }
+
+  // ---- forwarded statistics surfaces (enabled exactly when the
+  // wrapped object provides them), so Combining<Pipeline<...>> keeps
+  // the pipeline's per-stage accounting and Sharded can merge it.
+
+  [[nodiscard]] PipelineStageStats stats(std::size_t i) const
+    requires requires(const Obj& o, std::size_t j) {
+      { o.stats(j) } -> std::same_as<PipelineStageStats>;
+    }
+  {
+    return obj_.value.stats(i);
+  }
+
+  void reset_stats() noexcept
+    requires requires(Obj& o) { o.reset_stats(); }
+  {
+    obj_.value.reset_stats();
+  }
+
+  [[nodiscard]] std::uint64_t commits_by(ProcessId pid, std::size_t i) const
+    requires requires(const Obj& o, std::size_t j) { o.commits_by(pid, j); }
+  {
+    return obj_.value.commits_by(pid, i);
+  }
+
+  [[nodiscard]] int consensus_number() const
+    requires requires(const Obj& o) { o.consensus_number(); }
+  {
+    return std::max(obj_.value.consensus_number(), kConsensusNumberTas);
+  }
+
+ private:
+  // Publication slot lifecycle: kFree -> kClaimed (publisher owns the
+  // record) -> kPending (request visible to combiners) -> kDone
+  // (result visible to the publisher) -> kFree. kClaimed exists so a
+  // colliding publisher can never observe a half-written request: the
+  // combiner only reads slots it sees as kPending.
+  static constexpr std::uint32_t kFree = 0;
+  static constexpr std::uint32_t kClaimed = 1;
+  static constexpr std::uint32_t kPending = 2;
+  static constexpr std::uint32_t kDone = 3;
+
+  struct Slot {
+    std::atomic<std::uint32_t> status{kFree};
+    Request request;
+    std::optional<SwitchValue> init;
+    ModuleResult result;
+  };
+
+  // One combiner pass: snapshot the pending slots into a batch, drive
+  // it through the wrapped object's batch path (specialized for
+  // pipelines: one stage-major walk, bulk stats), then publish each
+  // result back to its slot. Runs with the combiner lock held.
+  template <class Ctx>
+  void combine(Ctx& ctx) {
+    // Nothing published (the common fast-path case): one cached load
+    // instead of a kSlots-line scan. A publication that lands after
+    // this check is not lost — its publisher retries the lock itself.
+    if (pending_hint_.value.load(std::memory_order_relaxed) == 0) return;
+
+    std::array<OpSlot, kSlots> batch;
+    std::array<Slot*, kSlots> owner{};
+    std::size_t n = 0;
+    for (auto& padded : slots_) {
+      Slot& s = padded.value;
+      if (s.status.load(std::memory_order_acquire) != kPending) continue;
+      ctx.on_read();
+      batch[n].request = s.request;
+      batch[n].init = s.init;
+      batch[n].done = false;
+      owner[n] = &s;
+      ++n;
+    }
+    if (n == 0) return;
+
+    run_batch(obj_.value, ctx, std::span<OpSlot>(batch.data(), n));
+
+    for (std::size_t i = 0; i < n; ++i) {
+      owner[i]->result = batch[i].result;
+      ctx.on_write();
+      owner[i]->status.store(kDone, std::memory_order_release);
+    }
+    pending_hint_.value.fetch_sub(static_cast<std::uint64_t>(n),
+                                  std::memory_order_relaxed);
+    rounds_.fetch_add(1, std::memory_order_relaxed);
+    batched_ops_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::array<Padded<Slot>, kSlots> slots_;
+  Padded<std::atomic<bool>> lock_{};  // combiner election (TAS)
+  Padded<std::atomic<std::uint64_t>> pending_hint_{};
+  Padded<Obj> obj_;
+  std::atomic<std::uint64_t> rounds_{0};
+  std::atomic<std::uint64_t> batched_ops_{0};
+  std::atomic<std::uint64_t> direct_ops_{0};
+  [[no_unique_address]] Policy policy_{};
+};
+
+}  // namespace scm

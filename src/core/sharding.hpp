@@ -99,11 +99,62 @@ struct RoundRobin {
   std::size_t operator()(Ctx& /*ctx*/, const Request& /*m*/,
                          std::size_t shards) noexcept {
     return static_cast<std::size_t>(
-        next_.fetch_add(1, std::memory_order_relaxed) % shards);
+        next_.value.fetch_add(1, std::memory_order_relaxed) % shards);
   }
 
  private:
-  std::atomic<std::uint64_t> next_{0};
+  // The cursor is written by EVERY routed operation, so it gets a cache
+  // line of its own: unpadded it shares a line with whatever the
+  // enclosing object stores next to the policy (Sharded lays the policy
+  // out right after the shard array), and that neighbor's readers would
+  // take a miss on every routed op.
+  Padded<std::atomic<std::uint64_t>> next_{};
+};
+
+// Approximate least-loaded routing: each shard has a padded in-flight
+// counter; routing scans for the minimum and increments the chosen
+// shard, and the completion hook (invoked by Sharded::invoke/perform
+// after the operation returns) decrements it. "Approximate" is load-
+// bearing twice over: the scan is racy (two routers may pick the same
+// minimum), and callers using the explicit route()/invoke_at()
+// attribution pattern must call Sharded::complete() themselves or the
+// counters drift — both acceptable for a load-balancing heuristic.
+// kMaxShards bounds the counter array; routing more shards than that
+// is a checked error.
+template <std::size_t kMaxShards = 16>
+struct ByLeastLoaded {
+  template <class Ctx>
+  std::size_t operator()(Ctx& /*ctx*/, const Request& /*m*/,
+                         std::size_t shards) noexcept {
+    SCM_CHECK_MSG(shards <= kMaxShards,
+                  "ByLeastLoaded: raise kMaxShards for this shard count");
+    std::size_t best = 0;
+    std::int64_t best_load =
+        in_flight_[0].value.load(std::memory_order_relaxed);
+    for (std::size_t s = 1; s < shards; ++s) {
+      const std::int64_t load =
+          in_flight_[s].value.load(std::memory_order_relaxed);
+      if (load < best_load) {
+        best = s;
+        best_load = load;
+      }
+    }
+    in_flight_[best].value.fetch_add(1, std::memory_order_relaxed);
+    return best;
+  }
+
+  // Completion hook, detected structurally by Sharded: one routed
+  // operation on shard s finished.
+  void on_complete(std::size_t s) noexcept {
+    in_flight_[s].value.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t in_flight(std::size_t s) const noexcept {
+    return in_flight_[s].value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<Padded<std::atomic<std::int64_t>>, kMaxShards> in_flight_{};
 };
 
 namespace detail {
@@ -179,7 +230,10 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
     requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
   ModuleResult invoke(Ctx& ctx, const Request& m,
                       std::optional<SwitchValue> init = std::nullopt) {
-    return invoke_at(route(ctx, m), ctx, m, init);
+    const std::size_t s = route(ctx, m);
+    const ModuleResult r = invoke_at(s, ctx, m, init);
+    complete(s);
+    return r;
   }
 
   // Runs the operation on an explicitly chosen shard. Callers that
@@ -202,7 +256,10 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
   auto perform(Ctx& ctx, const Request& m)
     requires requires(Obj& o) { o.perform(ctx, m); }
   {
-    return perform_at(route(ctx, m), ctx, m);
+    const std::size_t s = route(ctx, m);
+    auto r = perform_at(s, ctx, m);
+    complete(s);
+    return r;
   }
 
   // See invoke_at: the explicit-shard variant for chain-shaped
@@ -214,6 +271,26 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
     SCM_CHECK(s < kShards);
     return shard(s).perform(ctx, m);
   }
+
+  // Tells a load-tracking policy (ByLeastLoaded) that an operation
+  // routed to shard s has finished. invoke()/perform() call it
+  // automatically; users of the explicit route()/invoke_at()
+  // attribution pattern call it themselves once the operation returns.
+  // A no-op (compiled out) for policies without an on_complete hook.
+  void complete(std::size_t s) noexcept {
+    if constexpr (requires(Policy& p) { p.on_complete(s); }) {
+      SCM_CHECK(s < kShards);
+      policy_.on_complete(s);
+    } else {
+      (void)s;
+    }
+  }
+
+  // The routing policy instance, for inspection (e.g. ByLeastLoaded's
+  // in-flight counters). Routing should still go through route() so
+  // the range check applies.
+  [[nodiscard]] Policy& policy() noexcept { return policy_; }
+  [[nodiscard]] const Policy& policy() const noexcept { return policy_; }
 
   [[nodiscard]] Obj& shard(std::size_t s) noexcept {
     return shards_[s].value;

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <span>
 #include <tuple>
 #include <utility>
 
@@ -62,6 +63,23 @@ class StaticAbstractChain {
   Performed perform(Context& ctx, const Request& m) {
     PerProc& me = per_proc_[static_cast<std::size_t>(ctx.id())];
     return resume_at<0>(me.stage, me, ctx, m);
+  }
+
+  // Batch path: applies `ms` in order in ONE chain traversal, filling
+  // `out[k]` with request k's ChainPerformed. The runtime sticky-index
+  // dispatch (resume_at's tuple walk) happens once per batch instead
+  // of once per request, and the stage switch only ever moves forward:
+  // a request that aborts drags the calling process — and every later
+  // request of the batch — to the next stage, exactly the per-op
+  // semantics (the switch is sticky, Theorem 1), so the results are
+  // identical to performing the requests one at a time.
+  void perform_batch(Context& ctx, std::span<const Request> ms,
+                     std::span<Performed> out) {
+    SCM_CHECK_MSG(ms.size() == out.size(),
+                  "perform_batch needs one output slot per request");
+    if (ms.empty()) return;
+    PerProc& me = per_proc_[static_cast<std::size_t>(ctx.id())];
+    resume_batch_at<0>(me.stage, me, ctx, ms, out);
   }
 
   [[nodiscard]] static constexpr std::size_t stage_count() noexcept {
@@ -138,6 +156,52 @@ class StaticAbstractChain {
     } else {
       SCM_CHECK_MSG(false, "static chain exhausted: last stage aborted");
       __builtin_unreachable();
+    }
+  }
+
+  // Batch analogue of resume_at: locate the process's sticky stage
+  // once, then run the whole batch from there.
+  template <std::size_t I>
+  void resume_batch_at(std::size_t idx, PerProc& me, Context& ctx,
+                       std::span<const Request> ms, std::span<Performed> out) {
+    if constexpr (I < kDepth) {
+      if (idx == I) {
+        run_batch_from<I>(me, ctx, ms, out, 0);
+        return;
+      }
+      resume_batch_at<I + 1>(idx, me, ctx, ms, out);
+    } else {
+      SCM_CHECK_MSG(false, "static chain exhausted: last stage aborted");
+      __builtin_unreachable();
+    }
+  }
+
+  // Requests ms[begin..) run at stage I until one aborts; the abort
+  // history initializes stage I+1 and the REST of the batch (this
+  // request included) continues there — the sticky switch applied
+  // batch-wide in a single forward walk.
+  template <std::size_t I>
+  void run_batch_from(PerProc& me, Context& ctx, std::span<const Request> ms,
+                      std::span<Performed> out, std::size_t begin) {
+    for (std::size_t k = begin; k < ms.size(); ++k) {
+      AbstractResult r =
+          std::get<I>(stages_).get().invoke(ctx, ms[k], me.pending_init);
+      if (r.committed()) {
+        ++me.commits_by_stage[I];
+        out[k].response = r.response;
+        out[k].stage = I;
+        out[k].history = std::move(r.history);
+        continue;
+      }
+      me.pending_init = std::move(r.history);
+      me.stage = I + 1;
+      if constexpr (I + 1 < kDepth) {
+        run_batch_from<I + 1>(me, ctx, ms, out, k);
+        return;
+      } else {
+        SCM_CHECK_MSG(false, "static chain exhausted: last stage aborted");
+        __builtin_unreachable();
+      }
     }
   }
 

@@ -9,6 +9,7 @@
 // callers that store type-erased bodies.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -20,6 +21,7 @@
 
 #if defined(__linux__)
 #include <pthread.h>
+#include <sched.h>
 #endif
 
 #include "runtime/context.hpp"
@@ -27,6 +29,22 @@
 #include "support/barrier.hpp"
 
 namespace scm::workload {
+
+// Process-global worker-pinning switch (scm_bench --pin): set once at
+// startup before any run_threads call; every spawned worker reads it.
+// Pinning makes thread<->core placement stable across repetitions —
+// cross-rep variance from the scheduler migrating workers disappears —
+// at the cost of fixing the placement the measurement reports.
+inline std::atomic<bool>& pin_workers_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+inline void set_pin_workers(bool on) {
+  pin_workers_flag().store(on, std::memory_order_relaxed);
+}
+inline bool pin_workers() {
+  return pin_workers_flag().load(std::memory_order_relaxed);
+}
 
 struct DriverResult {
   double seconds = 0.0;
@@ -73,6 +91,36 @@ inline void name_worker_thread(int pid) {
 #endif
 }
 
+// Pins the calling worker to the (pid mod n)-th CPU the process is
+// ALLOWED to run on: scm-worker-N lands on the same core every
+// repetition, and workers spread over all available cores before
+// doubling up. Indexing into the sched_getaffinity mask (rather than
+// 0..online-cores) keeps pinning correct inside cpuset-restricted
+// containers, where the allowed CPUs need not start at 0 or be
+// contiguous. Best-effort — failures and non-Linux hosts are ignored.
+inline void pin_worker_thread(int pid) {
+#if defined(__linux__)
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (::sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return;
+  const int navail = CPU_COUNT(&allowed);
+  if (navail <= 0) return;
+  int want = pid % navail;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (!CPU_ISSET(cpu, &allowed)) continue;
+    if (want-- == 0) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(cpu, &set);
+      (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+      return;
+    }
+  }
+#else
+  (void)pid;
+#endif
+}
+
 // body(ctx, op_index) is called ops_per_thread times on each of
 // `threads` threads. start_delay(pid) nanoseconds are waited (spinning)
 // by each thread after the barrier — used to build staggered-arrival
@@ -98,6 +146,7 @@ DriverResult run_threads_impl(int threads, std::uint64_t ops_per_thread,
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
       name_worker_thread(t);
+      if (pin_workers()) pin_worker_thread(t);
       NativeContext ctx(static_cast<ProcessId>(t));
       start.arrive_and_wait();
       if constexpr (kHasDelay) {

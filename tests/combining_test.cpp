@@ -1,0 +1,588 @@
+// Tests for the batch invocation path (core/batch.hpp, the pipeline's
+// stage-major invoke_batch, StaticAbstractChain::perform_batch) and
+// the flat-combining combinator (core/combining.hpp):
+//
+//  * run_batch falls back to the per-op loop for plain modules and
+//    dispatches to a module's own batch path when it has one;
+//  * Pipeline::invoke_batch is result- and stats-identical to invoking
+//    the slots in order, across commit/abort mixes, seeded inits,
+//    whole-pipeline aborts, FastPipeline, and nested pipeline stages;
+//  * StaticAbstractChain::perform_batch matches per-op perform under
+//    identical random schedules (responses, stages, commit tallies);
+//  * Combining satisfies ComposableModule, folds TAS into the
+//    consensus number, nests inside Sharded, and a solo stream through
+//    it is bit-identical to direct invocation (each op combining
+//    itself);
+//  * under real threads (the "tsan" ctest label runs this suite under
+//    ThreadSanitizer) every combined op draws a distinct ticket and
+//    the recorded concurrent history linearizes against CounterSpec —
+//    the batched execution path preserves the per-op semantics.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "consensus/cas_consensus.hpp"
+#include "consensus/split_consensus.hpp"
+#include "core/batch.hpp"
+#include "core/combining.hpp"
+#include "core/module.hpp"
+#include "core/pipeline.hpp"
+#include "core/sharding.hpp"
+#include "history/specs.hpp"
+#include "lincheck/lincheck.hpp"
+#include "runtime/context.hpp"
+#include "runtime/platform.hpp"
+#include "sim/schedules.hpp"
+#include "sim/sim_platform.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+#include "universal/composable_universal.hpp"
+#include "universal/static_chain.hpp"
+#include "workload/driver.hpp"
+
+namespace scm {
+namespace {
+
+using sim::SimContext;
+using sim::SimPlatform;
+using sim::Simulator;
+
+// Plumbing-only helpers, as in pipeline_test.
+struct HopModule {
+  static constexpr int kConsensusNumber = kConsensusNumberRegister;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& /*ctx*/, const Request& /*m*/,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    return ModuleResult::abort_with(init.value_or(0) + 1);
+  }
+};
+
+struct SinkModule {
+  static constexpr int kConsensusNumber = kConsensusNumberRegister;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& /*ctx*/, const Request& /*m*/,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    return ModuleResult::commit(init.value_or(0));
+  }
+};
+
+// Commits exactly the requests whose arg equals this stage's index
+// (response encodes the inherited fold and the serving stage), aborts
+// the rest onward — a deterministic commit/abort mix per batch.
+struct StageGate {
+  static constexpr int kConsensusNumber = kConsensusNumberRegister;
+  std::size_t my_stage = 0;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& /*ctx*/, const Request& m,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    if (static_cast<std::size_t>(m.arg) == my_stage) {
+      return ModuleResult::commit(init.value_or(0) * 10 +
+                                  static_cast<Response>(my_stage));
+    }
+    return ModuleResult::abort_with(init.value_or(0) + 1);
+  }
+};
+
+// Fetch&inc semantics (CounterSpec): commits a unique monotone ticket.
+struct TicketModule {
+  static constexpr int kConsensusNumber = kConsensusNumberFetchAdd;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& /*m*/,
+                      std::optional<SwitchValue> /*init*/ = std::nullopt) {
+    return ModuleResult::commit(static_cast<Response>(count_.fetch_add(ctx)));
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_.peek(); }
+
+ private:
+  NativeCounter count_;
+};
+
+Request arg_req(std::uint64_t id, ProcessId p, std::int64_t arg) {
+  return Request{id, p, 0, arg};
+}
+
+// ---------------------------------------------------------------------------
+// run_batch dispatch
+
+TEST(Batch, RunBatchFallsBackToPerOpLoopForPlainModules) {
+  static_assert(!BatchInvocable<SinkModule, NativeContext>);
+  SinkModule sink;
+  NativeContext ctx(0);
+  std::array<OpSlot, 3> batch{
+      OpSlot{arg_req(1, 0, 0), std::nullopt, {}, false},
+      OpSlot{arg_req(2, 0, 0), SwitchValue{7}, {}, false},
+      OpSlot{arg_req(3, 0, 0), SwitchValue{-2}, {}, false}};
+  run_batch(sink, ctx, std::span<OpSlot>(batch));
+  EXPECT_TRUE(batch[0].done && batch[1].done && batch[2].done);
+  EXPECT_EQ(batch[0].result.response, 0);
+  EXPECT_EQ(batch[1].result.response, 7);
+  EXPECT_EQ(batch[2].result.response, -2);
+}
+
+TEST(Batch, RunBatchDispatchesToAModulesOwnBatchPath) {
+  using Pipe = Pipeline<HopModule, SinkModule>;
+  static_assert(BatchInvocable<Pipe, NativeContext>);
+  Pipe pipe;
+  NativeContext ctx(0);
+  std::array<OpSlot, 2> batch{
+      OpSlot{arg_req(1, 0, 0), std::nullopt, {}, false},
+      OpSlot{arg_req(2, 0, 0), SwitchValue{5}, {}, false}};
+  run_batch(pipe, ctx, std::span<OpSlot>(batch));
+  EXPECT_EQ(batch[0].result.response, 1);  // one hop
+  EXPECT_EQ(batch[1].result.response, 6);  // seeded init + one hop
+  // Bulk stats: one batch accounted exactly two ops per stage.
+  EXPECT_EQ(pipe.stats(0).aborts, 2u);
+  EXPECT_EQ(pipe.stats(1).commits, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline::invoke_batch equivalence with per-op invocation
+
+template <class Pipe>
+std::vector<ModuleResult> drive_per_op(Pipe& pipe,
+                                       const std::vector<OpSlot>& slots) {
+  NativeContext ctx(0);
+  std::vector<ModuleResult> out;
+  out.reserve(slots.size());
+  for (const OpSlot& s : slots) {
+    out.push_back(pipe.invoke(ctx, s.request, s.init));
+  }
+  return out;
+}
+
+std::vector<OpSlot> random_slots(std::uint64_t seed, std::size_t n,
+                                 std::int64_t max_arg) {
+  Rng rng(seed);
+  std::vector<OpSlot> slots;
+  slots.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    OpSlot s;
+    s.request = arg_req(i + 1, 0,
+                        static_cast<std::int64_t>(rng.below(
+                            static_cast<std::uint64_t>(max_arg) + 1)));
+    if (rng.chance(0.5)) s.init = static_cast<SwitchValue>(rng.below(5));
+    slots.push_back(s);
+  }
+  return slots;
+}
+
+TEST(Batch, PipelineBatchMatchesPerOpAcrossCommitAbortMixes) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    // arg in [0, 4]: commits at stage arg for arg < 3, whole-pipeline
+    // abort (switch value = inherited + 3 hops) for arg >= 3.
+    std::vector<OpSlot> slots = random_slots(seed, 17, 4);
+
+    Pipeline<StageGate, StageGate, StageGate> per_op(
+        StageGate{0}, StageGate{1}, StageGate{2});
+    const std::vector<ModuleResult> expect = drive_per_op(per_op, slots);
+
+    Pipeline<StageGate, StageGate, StageGate> batched(
+        StageGate{0}, StageGate{1}, StageGate{2});
+    NativeContext ctx(0);
+    batched.invoke_batch(ctx, std::span<OpSlot>(slots));
+
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      EXPECT_TRUE(slots[i].done) << "slot " << i << " seed " << seed;
+      EXPECT_EQ(slots[i].result.outcome, expect[i].outcome)
+          << "slot " << i << " seed " << seed;
+      EXPECT_EQ(slots[i].result.response, expect[i].response)
+          << "slot " << i << " seed " << seed;
+      EXPECT_EQ(slots[i].result.switch_value, expect[i].switch_value)
+          << "slot " << i << " seed " << seed;
+    }
+    // Stats: the bulk per-stage updates equal the per-op tallies.
+    for (std::size_t st = 0; st < 3; ++st) {
+      EXPECT_EQ(batched.stats(st).commits, per_op.stats(st).commits)
+          << "stage " << st << " seed " << seed;
+      EXPECT_EQ(batched.stats(st).aborts, per_op.stats(st).aborts)
+          << "stage " << st << " seed " << seed;
+    }
+  }
+}
+
+TEST(Batch, FastPipelineBatchMatchesPerOp) {
+  std::vector<OpSlot> slots = random_slots(7, 11, 4);
+  FastPipeline<StageGate, StageGate, StageGate> per_op(
+      StageGate{0}, StageGate{1}, StageGate{2});
+  const std::vector<ModuleResult> expect = drive_per_op(per_op, slots);
+
+  FastPipeline<StageGate, StageGate, StageGate> batched(
+      StageGate{0}, StageGate{1}, StageGate{2});
+  NativeContext ctx(0);
+  batched.invoke_batch(ctx, std::span<OpSlot>(slots));
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i].result.outcome, expect[i].outcome) << i;
+    EXPECT_EQ(slots[i].result.response, expect[i].response) << i;
+    EXPECT_EQ(slots[i].result.switch_value, expect[i].switch_value) << i;
+  }
+}
+
+TEST(Batch, NestedPipelineStageReceivesItsLiveSlotsAsASubBatch) {
+  // Outer stage 0 is itself a pipeline (so the gather/scatter branch
+  // of batch_from runs); the sink commits whatever aborts out of it.
+  const auto make = [] {
+    return make_pipeline(make_pipeline(StageGate{0}, StageGate{1}),
+                         SinkModule{});
+  };
+  std::vector<OpSlot> slots = random_slots(13, 9, 3);
+
+  auto per_op = make();
+  const std::vector<ModuleResult> expect = drive_per_op(per_op, slots);
+
+  auto batched = make();
+  NativeContext ctx(0);
+  batched.invoke_batch(ctx, std::span<OpSlot>(slots));
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i].result.outcome, expect[i].outcome) << i;
+    EXPECT_EQ(slots[i].result.response, expect[i].response) << i;
+    EXPECT_EQ(slots[i].result.switch_value, expect[i].switch_value) << i;
+  }
+  for (std::size_t st = 0; st < 2; ++st) {
+    EXPECT_EQ(batched.stats(st).commits, per_op.stats(st).commits) << st;
+    EXPECT_EQ(batched.stats(st).aborts, per_op.stats(st).aborts) << st;
+  }
+}
+
+TEST(Batch, EmptyBatchIsANoOp) {
+  Pipeline<HopModule, SinkModule> pipe;
+  NativeContext ctx(0);
+  pipe.invoke_batch(ctx, std::span<OpSlot>{});
+  EXPECT_EQ(pipe.stats(0).invocations(), 0u);
+  EXPECT_EQ(pipe.stats(1).invocations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// StaticAbstractChain::perform_batch
+
+TEST(Batch, ChainPerformBatchMatchesPerOpUnderIdenticalSchedules) {
+  using SplitStage = ComposableUniversal<SimPlatform, CounterSpec,
+                                         SplitConsensus<SimPlatform>, 48>;
+  using CasStage = ComposableUniversal<SimPlatform, CounterSpec,
+                                       CasConsensus<SimPlatform>, 48>;
+  constexpr int kN = 3;
+  constexpr std::size_t kOpsPerProc = 4;
+
+  const auto request_of = [](int p, std::size_t i) {
+    return Request{static_cast<std::uint64_t>(p) * 100 +
+                       static_cast<std::uint64_t>(i) + 1,
+                   static_cast<ProcessId>(p), CounterSpec::kFetchInc, 0};
+  };
+
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    // Per-op reference: each process performs its requests one by one.
+    std::array<std::vector<Response>, kN> per_op;
+    std::array<std::vector<std::size_t>, kN> per_op_stage;
+    {
+      SplitStage split(kN, 48, "split");
+      CasStage cas(kN, 48, "cas");
+      StaticAbstractChain chain(kN, split, cas);
+      Simulator s;
+      for (int p = 0; p < kN; ++p) {
+        s.add_process([&, p](SimContext& ctx) {
+          for (std::size_t i = 0; i < kOpsPerProc; ++i) {
+            const auto r = chain.perform(ctx, request_of(p, i));
+            per_op[static_cast<std::size_t>(p)].push_back(r.response);
+            per_op_stage[static_cast<std::size_t>(p)].push_back(r.stage);
+          }
+        });
+      }
+      sim::RandomSchedule sched(seed * 17 + 3);
+      s.run(sched);
+    }
+
+    // Batch run: each process hands the SAME requests over in one
+    // perform_batch call. The invocation step streams are identical,
+    // so the same-seed schedule interleaves both runs identically and
+    // the results must match bit for bit.
+    SplitStage split(kN, 48, "split");
+    CasStage cas(kN, 48, "cas");
+    StaticAbstractChain chain(kN, split, cas);
+    Simulator s;
+    std::array<std::array<ChainPerformed, kOpsPerProc>, kN> got;
+    for (int p = 0; p < kN; ++p) {
+      s.add_process([&, p](SimContext& ctx) {
+        std::array<Request, kOpsPerProc> ms;
+        for (std::size_t i = 0; i < kOpsPerProc; ++i) {
+          ms[i] = request_of(p, i);
+        }
+        chain.perform_batch(ctx, std::span<const Request>(ms),
+                            std::span<ChainPerformed>(
+                                got[static_cast<std::size_t>(p)]));
+      });
+    }
+    sim::RandomSchedule sched(seed * 17 + 3);
+    s.run(sched);
+
+    for (int p = 0; p < kN; ++p) {
+      const auto pi = static_cast<std::size_t>(p);
+      for (std::size_t i = 0; i < kOpsPerProc; ++i) {
+        EXPECT_EQ(got[pi][i].response, per_op[pi][i])
+            << "p" << p << " op " << i << " seed " << seed;
+        EXPECT_EQ(got[pi][i].stage, per_op_stage[pi][i])
+            << "p" << p << " op " << i << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Batch, ChainPerformBatchSoloCommitsEverythingOnStageZero) {
+  using SplitStage = ComposableUniversal<SimPlatform, CounterSpec,
+                                         SplitConsensus<SimPlatform>, 48>;
+  using CasStage = ComposableUniversal<SimPlatform, CounterSpec,
+                                       CasConsensus<SimPlatform>, 48>;
+  SplitStage split(1, 48, "split");
+  CasStage cas(1, 48, "cas");
+  StaticAbstractChain chain(1, split, cas);
+
+  Simulator s;
+  constexpr std::size_t kOps = 5;
+  std::array<ChainPerformed, kOps> got;
+  s.add_process([&](SimContext& ctx) {
+    std::array<Request, kOps> ms;
+    for (std::size_t i = 0; i < kOps; ++i) {
+      ms[i] = Request{static_cast<std::uint64_t>(i) + 1, 0,
+                      CounterSpec::kFetchInc, 0};
+    }
+    chain.perform_batch(ctx, std::span<const Request>(ms),
+                        std::span<ChainPerformed>(got));
+  });
+  sim::SequentialSchedule sched;
+  s.run(sched);
+
+  for (std::size_t i = 0; i < kOps; ++i) {
+    EXPECT_EQ(got[i].response, static_cast<Response>(i));
+    EXPECT_EQ(got[i].stage, 0u);
+  }
+  EXPECT_EQ(chain.commits_by(0, 0), kOps);
+  EXPECT_EQ(chain.commits_by(0, 1), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Combining: static properties and solo equivalence
+
+TEST(Combining, IsAComposableModuleAndFoldsTasIntoTheConsensusNumber) {
+  using Pipe = Pipeline<HopModule, SinkModule>;
+  using C = Combining<Pipe, 8, ByThread>;
+  static_assert(C::kSlotCount == 8);
+  static_assert(C::kDepth == Pipe::kDepth);
+  // The wrapper adds a TAS-elected combiner lock on top of the
+  // register-only pipeline.
+  static_assert(Pipe::kConsensusNumber == kConsensusNumberRegister);
+  static_assert(C::kConsensusNumber == kConsensusNumberTas);
+  static_assert(ComposableModule<C, NativeContext>);
+  static_assert(!std::is_polymorphic_v<C>);
+
+  // Per-shard combiners: Combining nests inside Sharded and the result
+  // is still a module.
+  using PerShard = Sharded<Combining<Pipe, 4, ByThread>, 2, ByThread>;
+  static_assert(ComposableModule<PerShard, NativeContext>);
+  static_assert(PerShard::kConsensusNumber == kConsensusNumberTas);
+  SUCCEED();
+}
+
+TEST(Combining, SoloStreamIsIdenticalToDirectInvocation) {
+  using Pipe = Pipeline<HopModule, TicketModule>;
+  Pipe direct;
+  Combining<Pipe, 4, ByThread> combined;
+  NativeContext ctx(0);
+
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const ModuleResult a = direct.invoke(ctx, arg_req(i + 1, 0, 0));
+    const ModuleResult b = combined.invoke(ctx, arg_req(i + 1, 0, 0));
+    ASSERT_TRUE(a.committed());
+    ASSERT_TRUE(b.committed());
+    EXPECT_EQ(a.response, b.response) << "op " << i;
+  }
+  // Solo, the lock is always free: every op took the direct fast path
+  // and no publication round ever formed.
+  EXPECT_EQ(combined.direct_ops(), 50u);
+  EXPECT_EQ(combined.combine_rounds(), 0u);
+  EXPECT_EQ(combined.combined_ops(), 0u);
+  // Forwarded stats account for every op despite the batched updates.
+  EXPECT_EQ(combined.stats(0).aborts, 50u);
+  EXPECT_EQ(combined.stats(1).commits, 50u);
+  combined.reset_stats();
+  EXPECT_EQ(combined.stats(1).invocations(), 0u);
+}
+
+TEST(Combining, SeededInitsPlumbThroughThePublicationSlot) {
+  Combining<Pipeline<HopModule, SinkModule>, 2, ByThread> combined;
+  NativeContext ctx(0);
+  EXPECT_EQ(combined.invoke(ctx, arg_req(1, 0, 0)).response, 1);
+  EXPECT_EQ(combined.invoke(ctx, arg_req(2, 0, 0), 10).response, 11);
+}
+
+// ---------------------------------------------------------------------------
+// Combining under real threads (runs under TSan via the "tsan" label)
+
+TEST(Combining, ConcurrentTicketsAreDistinctAndFullyAccounted) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kOps = 512;
+  constexpr std::uint64_t kTotal = kThreads * kOps;
+
+  Combining<Pipeline<HopModule, TicketModule>, 4, ByThread> combined;
+  std::vector<std::atomic<std::uint8_t>> seen(kTotal);
+  std::atomic<std::uint64_t> bad{0};
+
+  (void)workload::run_threads(
+      kThreads, kOps, [&](NativeContext& ctx, std::uint64_t i) {
+        const ModuleResult r = combined.invoke(
+            ctx, Request{(static_cast<std::uint64_t>(ctx.id()) << 40) | (i + 1),
+                         ctx.id(), CounterSpec::kFetchInc, 0});
+        const auto ticket = static_cast<std::uint64_t>(r.response);
+        if (!r.committed() || ticket >= kTotal ||
+            seen[ticket].exchange(1, std::memory_order_relaxed) != 0) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_EQ(combined.object().stage<1>().count(), kTotal);
+  EXPECT_EQ(combined.stats(1).commits, kTotal);
+  // Every op was either batched by a combiner or ran the fast path.
+  EXPECT_EQ(combined.combined_ops() + combined.direct_ops(), kTotal);
+  EXPECT_LE(combined.combine_rounds(), combined.combined_ops());
+}
+
+TEST(Combining, SharedSlotsStayCorrectWhenThreadsOutnumberThem) {
+  // 4 threads over 2 slots: colliding publishers must wait for the
+  // slot's round trip, never corrupt each other's records.
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kOps = 256;
+  constexpr std::uint64_t kTotal = kThreads * kOps;
+
+  Combining<Pipeline<HopModule, TicketModule>, 2, ByThread> combined;
+  std::vector<std::atomic<std::uint8_t>> seen(kTotal);
+  std::atomic<std::uint64_t> bad{0};
+
+  (void)workload::run_threads(
+      kThreads, kOps, [&](NativeContext& ctx, std::uint64_t i) {
+        const ModuleResult r = combined.invoke(
+            ctx, Request{(static_cast<std::uint64_t>(ctx.id()) << 40) | (i + 1),
+                         ctx.id(), CounterSpec::kFetchInc, 0});
+        const auto ticket = static_cast<std::uint64_t>(r.response);
+        if (!r.committed() || ticket >= kTotal ||
+            seen[ticket].exchange(1, std::memory_order_relaxed) != 0) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_EQ(combined.object().stage<1>().count(), kTotal);
+}
+
+TEST(Combining, SlotPolicyCompletionHookFiresForEveryPublishedOp) {
+  // A load-tracking slot policy must see every publication complete:
+  // whatever interleaving the run takes, at quiescence all in-flight
+  // counters are back to zero (fast-path ops never consult the
+  // policy, published ops increment on routing and decrement after
+  // the slot round trip).
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kOps = 256;
+  Combining<Pipeline<HopModule, TicketModule>, 4, ByLeastLoaded<4>> combined;
+
+  (void)workload::run_threads(
+      kThreads, kOps, [&](NativeContext& ctx, std::uint64_t i) {
+        (void)combined.invoke(
+            ctx, Request{(static_cast<std::uint64_t>(ctx.id()) << 40) | (i + 1),
+                         ctx.id(), CounterSpec::kFetchInc, 0});
+      });
+
+  EXPECT_EQ(combined.object().stage<1>().count(),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(combined.policy().in_flight(s), 0) << "slot " << s;
+  }
+}
+
+TEST(Combining, ShardedCombiningKeepsPerShardAccounting) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kOps = 128;
+  Sharded<Combining<Pipeline<HopModule, TicketModule>, 4, ByThread>, 2,
+          ByThread>
+      sharded;
+
+  (void)workload::run_threads(
+      kThreads, kOps, [&](NativeContext& ctx, std::uint64_t i) {
+        (void)sharded.invoke(
+            ctx, Request{(static_cast<std::uint64_t>(ctx.id()) << 40) | (i + 1),
+                         ctx.id(), CounterSpec::kFetchInc, 0});
+      });
+
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < 2; ++s) {
+    total += sharded.shard(s).object().stage<1>().count();
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kOps);
+  // Merged stats forwarded through Combining and summed by Sharded.
+  EXPECT_EQ(sharded.stats(1).commits,
+            static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+TEST(Combining, ConcurrentHistoryLinearizesAgainstCounterSpec) {
+  // The acceptance check for the batched execution path: operations
+  // served by a combiner on another thread must still take effect
+  // inside their own invoke/return window. A global atomic clock
+  // timestamps the windows; the Wing&Gong checker searches for a
+  // linearization. Trace sizes stay small — the checker is exponential
+  // in overlap.
+  constexpr int kThreads = 3;
+  constexpr std::uint64_t kOps = 4;
+
+  for (int round = 0; round < 10; ++round) {
+    Combining<Pipeline<HopModule, TicketModule>, kThreads, ByThread> combined;
+    std::atomic<std::uint64_t> clock{0};
+    struct Recorded {
+      Response response;
+      std::uint64_t invoke;
+      std::uint64_t ret;
+    };
+    std::array<std::array<Recorded, kOps>, kThreads> rec{};
+
+    (void)workload::run_threads(
+        kThreads, kOps, [&](NativeContext& ctx, std::uint64_t i) {
+          const Request m{
+              (static_cast<std::uint64_t>(ctx.id()) << 40) | (i + 1),
+              ctx.id(), CounterSpec::kFetchInc, 0};
+          auto& slot = rec[static_cast<std::size_t>(ctx.id())]
+                          [static_cast<std::size_t>(i)];
+          slot.invoke = clock.fetch_add(1, std::memory_order_acq_rel);
+          const ModuleResult r = combined.invoke(ctx, m);
+          slot.ret = clock.fetch_add(1, std::memory_order_acq_rel);
+          slot.response = r.response;
+        });
+
+    std::vector<ConcurrentOp> ops;
+    for (int t = 0; t < kThreads; ++t) {
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        const auto& r =
+            rec[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)];
+        ConcurrentOp op;
+        op.pid = static_cast<ProcessId>(t);
+        op.request = Request{(static_cast<std::uint64_t>(t) << 40) | (i + 1),
+                             static_cast<ProcessId>(t),
+                             CounterSpec::kFetchInc, 0};
+        op.response = r.response;
+        op.invoke = r.invoke;
+        op.ret = r.ret;
+        op.completed = true;
+        ops.push_back(op);
+      }
+    }
+    ASSERT_TRUE(linearizable<CounterSpec>(std::move(ops)))
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace scm

@@ -140,6 +140,72 @@ TEST(Sharded, RoundRobinCyclesThroughAllShards) {
   }
 }
 
+TEST(Sharded, RoundRobinCursorOwnsItsCacheLine) {
+  // Regression for false sharing: the round-robin cursor is written on
+  // every routed operation, so it must start a cache line and claim the
+  // whole of it — neighbors laid out after the policy (or after the
+  // cursor, inside the policy) may never share its line.
+  static_assert(alignof(RoundRobin) == kCacheLineSize,
+                "cursor must start on a cache-line boundary");
+  static_assert(sizeof(RoundRobin) >= kCacheLineSize,
+                "cursor must claim its full cache line");
+  SUCCEED();
+}
+
+TEST(Sharded, ByLeastLoadedTracksInFlightAndSpreadsAccordingly) {
+  static_assert(ShardRoutingPolicy<ByLeastLoaded<8>, NativeContext>);
+  ByLeastLoaded<8> policy;
+  NativeContext ctx(0);
+  const Request m = keyed_req(1, 0, 0);
+
+  // Route WITHOUT completing: in-flight counts accumulate, so the
+  // minimum scan cycles through the shards (ties break to the lowest
+  // index).
+  for (int lap = 0; lap < 3; ++lap) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      EXPECT_EQ(policy(ctx, m, 4), s) << "lap " << lap;
+    }
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(policy.in_flight(s), 3) << "shard " << s;
+  }
+  // Completion drains the counters back down.
+  for (int k = 0; k < 3; ++k) {
+    for (std::size_t s = 0; s < 4; ++s) policy.on_complete(s);
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(policy.in_flight(s), 0) << "shard " << s;
+  }
+}
+
+TEST(Sharded, InvokeNotifiesALoadTrackingPolicyOnCompletion) {
+  // Sharded::invoke routes, runs, then calls the policy's on_complete
+  // hook, so sequential callers always see zero in-flight afterwards
+  // (and, all counts equal, land on shard 0 — genuine spreading needs
+  // overlapping operations).
+  Sharded<Pipeline<HopModule, SinkModule>, 4, ByLeastLoaded<4>> sharded;
+  NativeContext ctx(0);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(sharded.invoke(ctx, keyed_req(static_cast<std::uint64_t>(i) + 1,
+                                            0, 0))
+                  .response,
+              1);
+    for (std::size_t s = 0; s < 4; ++s) {
+      EXPECT_EQ(sharded.policy().in_flight(s), 0) << "op " << i;
+    }
+  }
+  EXPECT_EQ(sharded.shard(0).stats(1).commits, 6u);
+
+  // The explicit attribution pattern: route() increments, the caller
+  // completes by hand.
+  const Request m = keyed_req(100, 0, 0);
+  const std::size_t s = sharded.route(ctx, m);
+  EXPECT_EQ(sharded.policy().in_flight(s), 1);
+  (void)sharded.invoke_at(s, ctx, m);
+  sharded.complete(s);
+  EXPECT_EQ(sharded.policy().in_flight(s), 0);
+}
+
 TEST(Sharded, InvokeAtRunsOnTheNamedShardWithoutConsultingThePolicy) {
   // The attribution pattern: route once, run on exactly that shard.
   // With a stateful policy a second consultation would advance the
