@@ -2,12 +2,43 @@
 
 #include <algorithm>
 #include <map>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "bench/json.hpp"
 #include "support/table.hpp"
 
 namespace scm::bench {
 namespace {
+
+// Number of CPUs the process is ALLOWED to run on (the affinity mask
+// cpuset-restricted containers and taskset impose), as opposed to the
+// hardware_concurrency the machine advertises: a t=8 sweep recorded on
+// a 2-CPU-mask runner is interpretable only with both numbers. 0 when
+// the mask cannot be read (non-Linux hosts).
+int affinity_cpus() {
+#if defined(__linux__)
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (::sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return 0;
+  return CPU_COUNT(&allowed);
+#else
+  return 0;
+#endif
+}
+
+// Git SHA the binary was configured from (injected by CMake); reports
+// downloaded from CI artifacts carry their own provenance.
+const char* build_git_sha() {
+#if defined(SCM_GIT_SHA)
+  return SCM_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
 
 struct PhaseAccumulator {
   std::uint64_t ops = 0;
@@ -113,7 +144,15 @@ void write_json(const RunReport& report, std::ostream& os) {
       .kv("warmup", report.params.warmup)
       .kv("schedule", report.params.schedule)
       .kv("seed", report.params.seed)
-      .kv("pin", report.params.pin);
+      .kv("pin", report.params.pin)
+      // Execution environment, so downloaded artifacts stay
+      // interpretable: an 8-thread sweep means something different on
+      // 2 allowed CPUs than on 16. Additive keys — scm-bench/v1
+      // consumers that key on the original fields are unaffected.
+      .kv("hardware_concurrency",
+          static_cast<int>(std::thread::hardware_concurrency()))
+      .kv("affinity_cpus", affinity_cpus())
+      .kv("git_sha", build_git_sha());
   w.end_object();
 
   w.key("scenarios").begin_array();

@@ -29,6 +29,17 @@
 
 namespace scm {
 
+// Completion state of a batch slot, set by whoever assembled the
+// batch and consumed by whoever retires it (the combiner's writeback
+// pass). kAttached — the default, and the only state the blocking
+// paths ever see — means a publisher is (or will be) waiting to
+// collect the result, so the slot must be handed back. kDetached means
+// the publisher has already returned without a handle
+// (Combining::submit_detached): no one will ever collect, so the
+// executor retires the slot itself — runs the completion callback and
+// recycles the publication record directly.
+enum class OpCompletion : std::uint8_t { kAttached, kDetached };
+
 // One pending operation of a batch: the request, its upstream
 // initialization (std::nullopt for "not initialized", exactly as in
 // the per-op invoke), and the result slot the executor fills in. A
@@ -38,11 +49,15 @@ namespace scm {
 // returns. Executors nest on this contract: an outer pipeline hands a
 // nested stage the whole span and the nested walk skips the slots the
 // outer one already finalized, no gathering or copying required.
+// `completion` rides along untouched by executors; only the
+// batch-assembling layer (the combiner) acts on it when writing
+// results back.
 struct OpSlot {
   Request request;
   std::optional<SwitchValue> init;
   ModuleResult result;
   bool done = false;
+  OpCompletion completion = OpCompletion::kAttached;
 };
 
 // A module with a native batch path. Modules are free to omit it —

@@ -31,6 +31,18 @@
 // ComposableModule and nests inside Sharded — per-shard combiners are
 // the roadmap's "per-shard batch queues".
 //
+// Async surface (core/async.hpp): a publication slot already is a
+// one-operation future, so submit() detaches the wait loop — it
+// publishes and returns a Ticket (or completes inline and returns a
+// ready ticket whenever the combiner lock is free), submit_detached()
+// publishes fire-and-forget with a combiner-run completion callback,
+// and drain() combines until no publication is pending. The ticket's
+// poll()/wait() complete the slot round trip the blocking invoke()
+// used to finish in place; wait() helps (the caller may elect itself
+// combiner), so progress never depends on other threads. Destroying a
+// Combining with any slot still occupied — an outstanding ticket, an
+// un-drained detached submission — is a checked error.
+//
 // Platform note: publishers BLOCK (spin, with periodic yields) on the
 // combiner's progress, which is incompatible with the deterministic
 // simulator's step-granting scheduler — Combining is a native-platform
@@ -52,6 +64,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "core/async.hpp"
 #include "core/batch.hpp"
 #include "core/module.hpp"
 #include "core/sharding.hpp"
@@ -77,15 +90,42 @@ struct CombiningConsensusBase<Obj,
       std::max(Obj::kConsensusNumber, kConsensusNumberTas);
 };
 
-// Spin-wait pacing: mostly relaxed re-reads (the watched line is
-// cache-local until the writer invalidates it), with a periodic yield
-// so oversubscribed cores hand the timeslice to the thread being
-// waited on instead of burning it.
+// One core-local pause: tells the pipeline (and an SMT sibling) that
+// this is a spin-wait, without giving up the timeslice.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // No spin hint on this target; the caller's re-read is the wait.
+#endif
+}
+
+// Spin-wait pacing: an exponential spin → pause → yield ladder. The
+// first few iterations re-read bare (the watched line is cache-local
+// until the writer invalidates it, so the common short wait costs
+// nothing extra); medium waits insert a doubling number of pause
+// hints, keeping the core polite without a syscall; long waits yield
+// the timeslice every iteration, which is what makes oversubscribed
+// runs (threads > cores, the CI regime) complete promptly — a fixed
+// spin count would burn whole quanta that the thread being waited on
+// needs. There is no wakeup to lose: every rung returns to the
+// caller's re-read of the watched variable.
 inline void combining_backoff(int& spins) noexcept {
-  if (++spins >= 64) {
-    spins = 0;
-    std::this_thread::yield();
+  constexpr int kSpinRungs = 8;    // bare re-reads
+  constexpr int kPauseRungs = 8;   // 1, 2, 4, ... 128 pauses
+  if (spins < kSpinRungs) {
+    ++spins;
+    return;
   }
+  if (spins < kSpinRungs + kPauseRungs) {
+    const int reps = 1 << (spins - kSpinRungs);
+    for (int i = 0; i < reps; ++i) cpu_pause();
+    ++spins;
+    return;
+  }
+  std::this_thread::yield();  // saturated: hand over the timeslice
 }
 
 }  // namespace detail
@@ -111,13 +151,28 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
   Combining(const Combining&) = delete;
   Combining& operator=(const Combining&) = delete;
 
+  // No publication may outlive the wrapper: at destruction every slot
+  // must be kFree — tickets collected (or dropped: a dropped ticket
+  // waits out its op), detached submissions drained. Anything else is
+  // an outstanding operation about to read freed memory, so it is a
+  // checked error rather than undefined behaviour.
+  ~Combining() {
+    for (auto& padded : slots_) {
+      SCM_CHECK_MSG(
+          padded.value.status.load(std::memory_order_acquire) == kFree,
+          "Combining destroyed with an occupied publication slot "
+          "(outstanding Ticket, or submit_detached without drain())");
+    }
+  }
+
   // Module surface: publish, then wait to be served or combine. The
   // policy maps (context, request) to a publication slot — the same
   // concept as shard routing, and ByThread (the default) gives every
   // thread a private slot whenever threads <= kSlots. With more
   // threads than slots, a colliding publisher waits for the slot
-  // owner's round trip (the owner is itself guaranteed to be served or
-  // to combine, so the wait is bounded by combiner progress).
+  // owner's round trip (helping the combiner along, so the wait is
+  // bounded by its own progress even if the owner submitted
+  // asynchronously and is off doing something else).
   template <class Ctx>
     requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
   ModuleResult invoke(Ctx& ctx, const Request& m,
@@ -128,76 +183,136 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     // contention this makes the wrapper cost one TAS + one scan; at
     // high contention the lock is rarely free, so operations take the
     // publication path below and get batched.
-    if (!lock_.value.load(std::memory_order_relaxed) &&
-        !lock_.value.exchange(true, std::memory_order_acquire)) {
-      ctx.on_rmw();
-      const ModuleResult r = obj_.value.invoke(ctx, m, init);
-      direct_ops_.fetch_add(1, std::memory_order_relaxed);
-      combine(ctx);
-      lock_.value.store(false, std::memory_order_release);
-      return r;
-    }
+    if (try_lock(ctx)) return run_direct(ctx, m, init);
 
     // The slot policy is consulted on the publication path only (the
     // fast path touches no slot); a load-tracking policy's counters
     // therefore see published ops, and its on_complete hook fires
-    // after the slot round trip below.
-    const std::size_t idx = policy_(ctx, m, kSlots);
-    SCM_CHECK_MSG(idx < kSlots, "slot policy produced an out-of-range slot");
-    Slot& slot = slots_[idx].value;
-
-    // Claim the publication record (one RMW, counted once for the
-    // claim as a whole — retries under slot collision spin uncounted,
-    // like every other wait loop here).
-    int spins = 0;
-    std::uint32_t expected = kFree;
-    while (!slot.status.compare_exchange_weak(expected, kClaimed,
-                                              std::memory_order_acquire,
-                                              std::memory_order_relaxed)) {
-      expected = kFree;
-      detail::combining_backoff(spins);
-    }
-    ctx.on_rmw();
-
-    // Publish: the request/init fields are plain writes ordered by the
-    // release store of kPending — the operation's one mandatory
-    // shared-memory step on the fast path.
-    slot.request = m;
-    slot.init = init;
-    // The pending hint lets an uncontended combiner skip the slot scan
-    // entirely; incremented before the slot turns pending so the count
-    // is conservative (never zero while a publication is visible), and
-    // decremented by whichever combiner serves the op.
-    ctx.on_rmw();
-    pending_hint_.value.fetch_add(1, std::memory_order_relaxed);
-    ctx.on_write();
-    slot.status.store(kPending, std::memory_order_release);
+    // after the slot round trip below. When the array is exhausted,
+    // claim_or_run executes the operation inline instead.
+    ModuleResult inline_result;
+    const auto idx = claim_or_run(ctx, m, init, &inline_result);
+    if (!idx.has_value()) return inline_result;
+    Slot& slot = slots_[*idx].value;
+    publish(ctx, slot, m, init, /*detached=*/false, nullptr, nullptr);
 
     // Wait to be served, electing ourselves combiner whenever the lock
     // is free (test-and-test-and-set). Our own slot is pending
     // throughout, so our combine() pass serves at least ourselves.
-    spins = 0;
+    int spins = 0;
     while (slot.status.load(std::memory_order_acquire) != kDone) {
-      if (!lock_.value.load(std::memory_order_relaxed) &&
-          !lock_.value.exchange(true, std::memory_order_acquire)) {
-        ctx.on_rmw();
-        combine(ctx);
-        lock_.value.store(false, std::memory_order_release);
-        continue;
-      }
+      if (help_combine(ctx)) continue;
       detail::combining_backoff(spins);
     }
+    return collect(ctx, *idx);
+  }
 
-    ctx.on_read();
-    const ModuleResult r = slot.result;
-    slot.status.store(kFree, std::memory_order_release);
-    // Load-tracking policies (ByLeastLoaded) get their completion
-    // callback once the slot round trip is over, mirroring
-    // Sharded::invoke. Compiled out for stateless policies.
-    if constexpr (requires(Policy& p) { p.on_complete(idx); }) {
-      policy_.on_complete(idx);
+  // Native batch path (BatchInvocable): one combiner election serves
+  // the WHOLE caller-provided batch — plus anything published
+  // meanwhile — instead of paying one publication round trip per op.
+  // This is what lets an outer grouping layer (Sharded::invoke_batch
+  // building per-shard sub-batches) hand a per-shard combiner a REAL
+  // batch: the wrapped object's own batch path (a pipeline's
+  // stage-major walk) runs over all of it in one pass. Ops executed
+  // this way count as direct (no publication), keeping
+  // direct_ops() + combined_ops() == total invocations.
+  template <class Ctx>
+    requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
+  void invoke_batch(Ctx& ctx, std::span<OpSlot> batch) {
+    if (batch.empty()) return;
+    std::uint64_t live = 0;
+    for (const OpSlot& slot : batch) live += slot.done ? 0 : 1;
+    if (live == 0) return;
+    int spins = 0;
+    while (!try_lock(ctx)) detail::combining_backoff(spins);
+    run_batch(obj_.value, ctx, batch);
+    direct_ops_.fetch_add(live, std::memory_order_relaxed);
+    combine(ctx);
+    lock_.value.store(false, std::memory_order_release);
+  }
+
+  // ---- async surface (core/async.hpp).
+
+  // Publish-and-return. On the uncontended fast path (combiner lock
+  // free) the operation completes inline — a batch of one, exactly
+  // invoke()'s fast path — and the ticket is born ready, so
+  // submit().wait() costs what invoke() costs and returns bit-identical
+  // results. Otherwise the request is published and the wait loop is
+  // detached into the returned Ticket: poll() checks the slot, wait()
+  // helps combine, and whichever completes first consumes the round
+  // trip. When the publication array is exhausted (every record held
+  // by an uncollected ticket) the operation completes inline under
+  // the combiner lock instead — see claim_or_run — so submission
+  // never blocks on ticket holders. The optional completion callback
+  // runs on the thread that finalizes the operation — the combiner
+  // for published ops (with the election lock held: callbacks must
+  // not re-enter this Combining), the caller on inline paths. On
+  // non-blocking platforms (the step-granting simulator) publication
+  // round trips cannot run, so submit() degenerates to invoke() plus
+  // a ready ticket.
+  template <class Ctx>
+    requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
+  Ticket<ModuleResult> submit(Ctx& ctx, const Request& m,
+                              std::optional<SwitchValue> init = std::nullopt,
+                              CompletionFn completion = nullptr,
+                              void* user = nullptr) {
+    if constexpr (!detail::context_can_block_v<Ctx>) {
+      const ModuleResult r = invoke(ctx, m, init);
+      if (completion != nullptr) completion(user, r);
+      return Ticket<ModuleResult>::ready(r);
+    } else {
+      ModuleResult r;
+      const auto idx =
+          submit_impl(ctx, m, init, /*detached=*/false, completion, user, &r);
+      if (!idx.has_value()) return Ticket<ModuleResult>::ready(r);
+      return Ticket<ModuleResult>(
+          &ticket_source<Ctx>(), this,
+          reinterpret_cast<void*>(static_cast<std::uintptr_t>(*idx)), &ctx);
     }
-    return r;
+  }
+
+  // Fire-and-forget submission: no ticket. The completion callback
+  // (which may be null for pure side-effect operations) runs when the
+  // operation is served, and the serving thread retires the
+  // publication record itself — the kDetached completion state of
+  // core/batch.hpp — since no publisher will ever collect it. Pending
+  // detached submissions survive until some thread combines: callers
+  // must drain() (or keep the object busy) before destruction.
+  template <class Ctx>
+    requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
+  void submit_detached(Ctx& ctx, const Request& m,
+                       std::optional<SwitchValue> init = std::nullopt,
+                       CompletionFn completion = nullptr,
+                       void* user = nullptr) {
+    if constexpr (!detail::context_can_block_v<Ctx>) {
+      const ModuleResult r = invoke(ctx, m, init);
+      if (completion != nullptr) completion(user, r);
+    } else {
+      ModuleResult r;
+      (void)submit_impl(ctx, m, init, /*detached=*/true, completion, user,
+                        &r);
+    }
+  }
+
+  // Combines until no publication is pending: when drain() returns,
+  // every operation submitted (by any thread) before the call has been
+  // EXECUTED — attached slots sit in kDone awaiting their ticket,
+  // detached slots are fully retired. It does not wait for other
+  // threads to collect their tickets. A no-op on non-blocking
+  // platforms, where nothing can be pending.
+  template <class Ctx>
+  void drain(Ctx& ctx) {
+    if constexpr (detail::context_can_block_v<Ctx>) {
+      int spins = 0;
+      // Acquire: pairs with the combiner's release decrement, so the
+      // zero observation carries every served op's effects with it.
+      while (pending_hint_.value.load(std::memory_order_acquire) != 0) {
+        if (help_combine(ctx)) continue;
+        detail::combining_backoff(spins);
+      }
+    } else {
+      (void)ctx;
+    }
   }
 
   [[nodiscard]] Obj& object() noexcept { return obj_.value; }
@@ -271,7 +386,242 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     Request request;
     std::optional<SwitchValue> init;
     ModuleResult result;
+    // Async publication extras, plain fields ordered by the kPending
+    // release store like request/init: detached marks fire-and-forget
+    // records (the server retires them — no kDone handback), and
+    // completion/user is the optional callback the finalizing thread
+    // runs.
+    bool detached = false;
+    CompletionFn completion = nullptr;
+    void* user = nullptr;
   };
+
+  // Routes (context, request) to a publication slot, range-checked.
+  template <class Ctx>
+  std::size_t route_slot(Ctx& ctx, const Request& m) {
+    const std::size_t idx = policy_(ctx, m, kSlots);
+    SCM_CHECK_MSG(idx < kSlots, "slot policy produced an out-of-range slot");
+    return idx;
+  }
+
+  // Tries to elect the caller combiner (test-and-test-and-set); the
+  // winning exchange is the counted RMW. The caller owns the lock on
+  // success and must release it.
+  template <class Ctx>
+  bool try_lock(Ctx& ctx) {
+    if (!lock_.value.load(std::memory_order_relaxed) &&
+        !lock_.value.exchange(true, std::memory_order_acquire)) {
+      ctx.on_rmw();
+      return true;
+    }
+    return false;
+  }
+
+  // On a won election, runs one combine pass and releases the lock.
+  // Every wait loop calls this so a stuck publication can always be
+  // served by whoever is waiting on it — with async submitters in the
+  // mix, the slot's owner may long since have returned.
+  template <class Ctx>
+  bool help_combine(Ctx& ctx) {
+    if (!try_lock(ctx)) return false;
+    combine(ctx);
+    lock_.value.store(false, std::memory_order_release);
+    return true;
+  }
+
+  // Pre: combiner lock held. Runs one operation directly — a batch of
+  // one, no publication round trip — serves whatever published
+  // meanwhile, and releases the lock. The shared body of the
+  // uncontended fast path and the slot-exhaustion fallback below.
+  template <class Ctx>
+  ModuleResult run_direct(Ctx& ctx, const Request& m,
+                          std::optional<SwitchValue> init) {
+    const ModuleResult r = obj_.value.invoke(ctx, m, init);
+    direct_ops_.fetch_add(1, std::memory_order_relaxed);
+    combine(ctx);
+    lock_.value.store(false, std::memory_order_release);
+    return r;
+  }
+
+  // One rotation over the publication array attempting to claim a free
+  // record (kFree -> kClaimed; the successful CAS is the counted RMW),
+  // starting at the policy's hint. Non-blocking: nullopt when every
+  // record is busy.
+  template <class Ctx>
+  std::optional<std::size_t> try_claim_rotation(Ctx& ctx, std::size_t hint) {
+    for (std::size_t k = 0; k < kSlots; ++k) {
+      const std::size_t idx =
+          hint + k < kSlots ? hint + k : hint + k - kSlots;
+      Slot& slot = slots_[idx].value;
+      std::uint32_t expected = kFree;
+      if (slot.status.load(std::memory_order_relaxed) == kFree &&
+          slot.status.compare_exchange_strong(expected, kClaimed,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed)) {
+        ctx.on_rmw();
+        return idx;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Shared body of submit/submit_detached on blocking platforms:
+  // completes the operation inline — fast path or exhaustion fallback,
+  // running the callback and returning nullopt with *out filled — or
+  // claims AND publishes a record, returning its index (the callback
+  // then travels with the publication).
+  template <class Ctx>
+  std::optional<std::size_t> submit_impl(Ctx& ctx, const Request& m,
+                                         std::optional<SwitchValue> init,
+                                         bool detached,
+                                         CompletionFn completion, void* user,
+                                         ModuleResult* out) {
+    if (try_lock(ctx)) {
+      *out = run_direct(ctx, m, init);
+    } else {
+      const auto idx = claim_or_run(ctx, m, init, out);
+      if (idx.has_value()) {
+        publish(ctx, slots_[*idx].value, m, init, detached, completion,
+                user);
+        return idx;
+      }
+    }
+    if (completion != nullptr) completion(user, *out);
+    return std::nullopt;
+  }
+
+  // Either claims a publication record for (m, init) — returning its
+  // index, publication left to the caller — or executes the operation
+  // inline under the combiner lock, returning nullopt with *out
+  // filled.
+  //
+  // The inline fallback is what keeps async submission LIVE: a kDone
+  // record frees only when its owner polls, and under async submission
+  // every owner of every record can simultaneously be stuck in a claim
+  // loop (none of them can collect its own tickets from there), so
+  // waiting for a record to free can deadlock the whole group. The
+  // combiner lock, by contrast, always frees in bounded time (holders
+  // run one bounded pass and release), so "serve yourself as a batch
+  // of one" is always reachable. Stateless policies treat the routed
+  // slot as a HINT and rotate (any record serves a publication
+  // equally); load-tracking policies (on_complete) need the claimed
+  // index to equal the routed index or their per-slot counters skew,
+  // so for them a busy routed record goes straight to the inline
+  // fallback instead of waiting.
+  template <class Ctx>
+  std::optional<std::size_t> claim_or_run(Ctx& ctx, const Request& m,
+                                          std::optional<SwitchValue> init,
+                                          ModuleResult* out) {
+    const std::size_t hint = route_slot(ctx, m);
+    int spins = 0;
+    for (;;) {
+      if constexpr (requires(Policy& p) { p.on_complete(hint); }) {
+        Slot& slot = slots_[hint].value;
+        std::uint32_t expected = kFree;
+        if (slot.status.load(std::memory_order_relaxed) == kFree &&
+            slot.status.compare_exchange_strong(expected, kClaimed,
+                                                std::memory_order_acquire,
+                                                std::memory_order_relaxed)) {
+          ctx.on_rmw();
+          return hint;
+        }
+      } else {
+        if (const auto idx = try_claim_rotation(ctx, hint)) return idx;
+      }
+      if (try_lock(ctx)) {
+        *out = run_direct(ctx, m, init);
+        // The routed record was never used: balance a load-tracking
+        // policy's in-flight increment from route_slot, or its
+        // counters drift up on every inline fallback.
+        if constexpr (requires(Policy& p) { p.on_complete(hint); }) {
+          policy_.on_complete(hint);
+        }
+        return std::nullopt;
+      }
+      detail::combining_backoff(spins);
+    }
+  }
+
+  // Publishes into a claimed record: the request/init/callback fields
+  // are plain writes ordered by the release store of kPending — the
+  // operation's one mandatory shared-memory step on this path. The
+  // pending hint lets an uncontended combiner skip the slot scan
+  // entirely; incremented before the slot turns pending so the count
+  // is conservative (never zero while a publication is visible), and
+  // decremented by whichever combiner serves the op.
+  template <class Ctx>
+  void publish(Ctx& ctx, Slot& slot, const Request& m,
+               std::optional<SwitchValue> init, bool detached,
+               CompletionFn completion, void* user) {
+    slot.request = m;
+    slot.init = init;
+    slot.detached = detached;
+    slot.completion = completion;
+    slot.user = user;
+    ctx.on_rmw();
+    pending_hint_.value.fetch_add(1, std::memory_order_relaxed);
+    ctx.on_write();
+    slot.status.store(kPending, std::memory_order_release);
+  }
+
+  // Consumes a kDone slot: reads the result, recycles the record, and
+  // fires the slot policy's completion hook — the publication round
+  // trip is over, mirroring Sharded::invoke. Compiled out for
+  // stateless policies.
+  template <class Ctx>
+  ModuleResult collect(Ctx& ctx, std::size_t idx) {
+    Slot& slot = slots_[idx].value;
+    ctx.on_read();
+    const ModuleResult r = slot.result;
+    slot.status.store(kFree, std::memory_order_release);
+    if constexpr (requires(Policy& p) { p.on_complete(idx); }) {
+      policy_.on_complete(idx);
+    }
+    return r;
+  }
+
+  // ---- ticket plumbing: the type-erased completion source bound into
+  // every pending Ticket. `slot` carries the publication slot INDEX
+  // (as a uintptr), not a pointer — collect() needs the index for the
+  // policy hook anyway.
+
+  template <class Ctx>
+  static bool ticket_poll(void* source, void* slot, void* ctx,
+                          ModuleResult* out) {
+    auto* self = static_cast<Combining*>(source);
+    const auto idx =
+        static_cast<std::size_t>(reinterpret_cast<std::uintptr_t>(slot));
+    Ctx& c = *static_cast<Ctx*>(ctx);
+    if (self->slots_[idx].value.status.load(std::memory_order_acquire) !=
+        kDone) {
+      return false;
+    }
+    *out = self->collect(c, idx);
+    return true;
+  }
+
+  template <class Ctx>
+  static void ticket_wait(void* source, void* slot, void* ctx,
+                          ModuleResult* out) {
+    auto* self = static_cast<Combining*>(source);
+    const auto idx =
+        static_cast<std::size_t>(reinterpret_cast<std::uintptr_t>(slot));
+    Ctx& c = *static_cast<Ctx*>(ctx);
+    Slot& s = self->slots_[idx].value;
+    int spins = 0;
+    while (s.status.load(std::memory_order_acquire) != kDone) {
+      if (self->help_combine(c)) continue;
+      detail::combining_backoff(spins);
+    }
+    *out = self->collect(c, idx);
+  }
+
+  template <class Ctx>
+  static const TicketSource<ModuleResult>& ticket_source() {
+    static constexpr TicketSource<ModuleResult> kSource{
+        &Combining::ticket_poll<Ctx>, &Combining::ticket_wait<Ctx>};
+    return kSource;
+  }
 
   // One combiner pass: snapshot the pending slots into a batch, drive
   // it through the wrapped object's batch path (specialized for
@@ -285,16 +635,18 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     if (pending_hint_.value.load(std::memory_order_relaxed) == 0) return;
 
     std::array<OpSlot, kSlots> batch;
-    std::array<Slot*, kSlots> owner{};
+    std::array<std::size_t, kSlots> owner{};
     std::size_t n = 0;
-    for (auto& padded : slots_) {
-      Slot& s = padded.value;
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      Slot& s = slots_[i].value;
       if (s.status.load(std::memory_order_acquire) != kPending) continue;
       ctx.on_read();
       batch[n].request = s.request;
       batch[n].init = s.init;
       batch[n].done = false;
-      owner[n] = &s;
+      batch[n].completion =
+          s.detached ? OpCompletion::kDetached : OpCompletion::kAttached;
+      owner[n] = i;
       ++n;
     }
     if (n == 0) return;
@@ -302,12 +654,30 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     run_batch(obj_.value, ctx, std::span<OpSlot>(batch.data(), n));
 
     for (std::size_t i = 0; i < n; ++i) {
-      owner[i]->result = batch[i].result;
-      ctx.on_write();
-      owner[i]->status.store(kDone, std::memory_order_release);
+      Slot& s = slots_[owner[i]].value;
+      // The finalizing thread runs the publisher's callback, with the
+      // election lock held — callbacks must not re-enter this wrapper.
+      if (s.completion != nullptr) s.completion(s.user, batch[i].result);
+      if (batch[i].completion == OpCompletion::kDetached) {
+        // Fire-and-forget: no collector will ever come for this
+        // record, so retire it in place and complete the slot policy's
+        // round trip ourselves.
+        ctx.on_write();
+        s.status.store(kFree, std::memory_order_release);
+        if constexpr (requires(Policy& p) { p.on_complete(owner[i]); }) {
+          policy_.on_complete(owner[i]);
+        }
+      } else {
+        s.result = batch[i].result;
+        ctx.on_write();
+        s.status.store(kDone, std::memory_order_release);
+      }
     }
+    // Release: pairs with drain()'s acquire load, so a drainer that
+    // observes zero pending also observes every served operation's
+    // effects (detached callbacks included).
     pending_hint_.value.fetch_sub(static_cast<std::uint64_t>(n),
-                                  std::memory_order_relaxed);
+                                  std::memory_order_release);
     rounds_.fetch_add(1, std::memory_order_relaxed);
     batched_ops_.fetch_add(n, std::memory_order_relaxed);
   }

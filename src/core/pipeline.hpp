@@ -41,6 +41,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "core/async.hpp"
 #include "core/batch.hpp"
 #include "core/module.hpp"
 #include "history/request.hpp"
@@ -177,6 +178,19 @@ class BasicPipeline {
   Traced invoke_traced(Ctx& ctx, const Request& m,
                        std::optional<SwitchValue> init = std::nullopt) {
     return run_from<0>(ctx, m, init);
+  }
+
+  // Async adapter (core/async.hpp): a pipeline invocation is
+  // synchronous — the chain walk IS the operation — so submit()
+  // completes inline and returns an already-ready ticket. This keeps
+  // the submit/complete surface uniform across every composition
+  // layer (drivers written against submit() run unchanged over
+  // pipelines, sharded pipelines, and combining wrappers) at zero
+  // behavioural and zero per-op cost.
+  template <class Ctx>
+  Ticket<ModuleResult> submit(Ctx& ctx, const Request& m,
+                              std::optional<SwitchValue> init = std::nullopt) {
+    return Ticket<ModuleResult>::ready(run_from<0>(ctx, m, init).result);
   }
 
   // Batch path: executes every pending (done == false) slot and fills

@@ -34,10 +34,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <tuple>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
+#include "core/async.hpp"
+#include "core/batch.hpp"
 #include "core/module.hpp"
 #include "core/pipeline.hpp"
 #include "history/request.hpp"
@@ -272,6 +276,169 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
     return shard(s).perform(ctx, m);
   }
 
+  // ---- async surface (core/async.hpp).
+
+  // Route, then submit on the chosen shard. When the replica is itself
+  // asynchronous (per-shard Combining), its pending ticket is
+  // forwarded unchanged; otherwise see the synchronous overload below.
+  // NOTE for load-tracking policies (ByLeastLoaded): the completion
+  // hook fires when submit returns, so under async submission the
+  // in-flight counters track the submission window rather than true
+  // completion — acceptable for a load heuristic, and the alternative
+  // (hooking ticket collection) would put a shared-counter touch on
+  // every poll.
+  template <class Ctx>
+    requires ShardRoutingPolicy<Policy, Ctx> &&
+             requires(Obj& o, Ctx& c, const Request& r,
+                      std::optional<SwitchValue> v) { o.submit(c, r, v); }
+  auto submit(Ctx& ctx, const Request& m,
+              std::optional<SwitchValue> init = std::nullopt) {
+    const std::size_t s = route(ctx, m);
+    auto t = shard(s).submit(ctx, m, init);
+    complete(s);
+    return t;
+  }
+
+  // Synchronous replicas (pipelines, chains-as-modules) complete
+  // inline: submit() is invoke() plus a ready ticket, keeping the
+  // submit/complete surface uniform across every Sharded instance.
+  template <class Ctx>
+    requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx> &&
+             (!requires(Obj& o, Ctx& c, const Request& r,
+                        std::optional<SwitchValue> v) { o.submit(c, r, v); })
+  Ticket<ModuleResult> submit(Ctx& ctx, const Request& m,
+                              std::optional<SwitchValue> init = std::nullopt) {
+    return Ticket<ModuleResult>::ready(invoke(ctx, m, init));
+  }
+
+  // Callback-carrying form, for replicas whose submit accepts a
+  // CompletionFn (per-shard Combining). `completion` is deliberately
+  // not defaulted: 2-/3-argument calls resolve to the overloads above
+  // on every replica shape, 4-/5-argument calls land here only when
+  // the replica can actually run the callback.
+  template <class Ctx>
+    requires ShardRoutingPolicy<Policy, Ctx>
+  auto submit(Ctx& ctx, const Request& m, std::optional<SwitchValue> init,
+              CompletionFn completion, void* user = nullptr)
+    requires requires(Obj& o) { o.submit(ctx, m, init, completion, user); }
+  {
+    const std::size_t s = route(ctx, m);
+    auto t = shard(s).submit(ctx, m, init, completion, user);
+    complete(s);
+    return t;
+  }
+
+  // Fire-and-forget forwarding (enabled when the replica has it): the
+  // routed shard's combiner retires the publication itself. Pair with
+  // drain() before destruction, exactly as on a bare Combining.
+  template <class Ctx>
+    requires ShardRoutingPolicy<Policy, Ctx>
+  void submit_detached(Ctx& ctx, const Request& m,
+                       std::optional<SwitchValue> init = std::nullopt,
+                       CompletionFn completion = nullptr, void* user = nullptr)
+    requires requires(Obj& o) {
+      o.submit_detached(ctx, m, init, completion, user);
+    }
+  {
+    const std::size_t s = route(ctx, m);
+    shard(s).submit_detached(ctx, m, init, completion, user);
+    complete(s);
+  }
+
+  // Chain-shaped counterpart (StaticAbstractChain::submit takes no
+  // init); constrained away when Obj has the module-shaped submit so
+  // the two cannot collide in overload resolution.
+  template <class Ctx>
+    requires ShardRoutingPolicy<Policy, Ctx>
+  auto submit(Ctx& ctx, const Request& m)
+    requires(requires(Obj& o) { o.submit(ctx, m); } &&
+             !requires(Obj& o, std::optional<SwitchValue> v) {
+               o.submit(ctx, m, v);
+             })
+  {
+    const std::size_t s = route(ctx, m);
+    auto t = shard(s).submit(ctx, m);
+    complete(s);
+    return t;
+  }
+
+  // Drains every shard's pending publications (enabled exactly when
+  // the replica is drainable, i.e. per-shard Combining).
+  template <class Ctx>
+  void drain(Ctx& ctx)
+    requires requires(Obj& o) { o.drain(ctx); }
+  {
+    for (auto& s : shards_) s.value.drain(ctx);
+  }
+
+  // ---- batch surface: per-shard grouping.
+
+  // Groups a batch into per-shard sub-batches by the routing policy
+  // and dispatches each through run_batch, so a per-shard combiner (or
+  // a replica's own invoke_batch) finally sees a REAL batch instead of
+  // the one-op batches per-op forwarding produced. Every pending slot
+  // is routed exactly once, in slot order — a stateful policy
+  // (RoundRobin) advances exactly as the per-op loop would, so the
+  // grouping is accounting-identical to routing each op individually.
+  // Within a shard, slots run in slot order; across shards the replicas
+  // are disjoint objects, so for a single executing thread the results
+  // equal per-op invocation. Grouping allocates O(batch) scratch.
+  template <class Ctx>
+    requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
+  void invoke_batch(Ctx& ctx, std::span<OpSlot> batch) {
+    if (batch.empty()) return;
+    std::vector<OpSlot> scratch;
+    group_by_shard(
+        ctx, batch.size(),
+        [&](std::size_t i) -> const Request& { return batch[i].request; },
+        [&](std::size_t i) { return !batch[i].done; },
+        [&](std::size_t s, std::span<const std::size_t> origin) {
+          scratch.clear();
+          scratch.reserve(origin.size());
+          for (const std::size_t i : origin) scratch.push_back(batch[i]);
+          run_batch(shard(s), ctx, std::span<OpSlot>(scratch));
+          for (std::size_t k = 0; k < origin.size(); ++k) {
+            batch[origin[k]] = scratch[k];
+          }
+        });
+  }
+
+  // Chain-shaped counterpart: group the requests per shard, run each
+  // shard's group through its perform_batch (one sticky-stage dispatch
+  // per sub-batch), scatter the per-request results back into `out` at
+  // their original positions. Same routing contract as invoke_batch
+  // (both walk through group_by_shard).
+  template <class Ctx, class Performed>
+    requires ShardRoutingPolicy<Policy, Ctx>
+  void perform_batch(Ctx& ctx, std::span<const Request> ms,
+                     std::span<Performed> out)
+    requires requires(Obj& o, std::span<const Request> rs,
+                      std::span<Performed> ps) {
+      o.perform_batch(ctx, rs, ps);
+    }
+  {
+    SCM_CHECK_MSG(ms.size() == out.size(),
+                  "perform_batch needs one output slot per request");
+    if (ms.empty()) return;
+    std::vector<Request> group;
+    std::vector<Performed> results;
+    group_by_shard(
+        ctx, ms.size(),
+        [&](std::size_t i) -> const Request& { return ms[i]; },
+        [](std::size_t) { return true; },
+        [&](std::size_t s, std::span<const std::size_t> origin) {
+          group.clear();
+          group.reserve(origin.size());
+          for (const std::size_t i : origin) group.push_back(ms[i]);
+          results.assign(origin.size(), Performed{});
+          shard(s).perform_batch(ctx, std::span<const Request>(group),
+                                 std::span<Performed>(results));
+          for (std::size_t k = 0; k < origin.size(); ++k) {
+            out[origin[k]] = std::move(results[k]);
+          }
+        });
+  }
+
   // Tells a load-tracking policy (ByLeastLoaded) that an operation
   // routed to shard s has finished. invoke()/perform() call it
   // automatically; users of the explicit route()/invoke_at()
@@ -347,6 +514,38 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
   }
 
  private:
+  // The one copy of the batch-grouping contract both batch surfaces
+  // walk through: every pending item is routed exactly once, in item
+  // order (a stateful policy advances exactly as the per-op loop
+  // would), then each shard with work gets its items' indices — still
+  // in item order — via dispatch(shard, origin), which runs the
+  // sub-batch and scatters results; complete(shard) fires once per
+  // dispatched item, mirroring per-op invoke/perform.
+  template <class Ctx, class RequestOf, class IsPending, class Dispatch>
+  void group_by_shard(Ctx& ctx, std::size_t n, const RequestOf& request_of,
+                      const IsPending& is_pending, const Dispatch& dispatch) {
+    constexpr std::size_t kUnrouted = kShards;
+    std::vector<std::size_t> shard_of(n, kUnrouted);
+    std::array<std::size_t, kShards> load{};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!is_pending(i)) continue;
+      const std::size_t s = route(ctx, request_of(i));
+      shard_of[i] = s;
+      ++load[s];
+    }
+    std::vector<std::size_t> origin;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      if (load[s] == 0) continue;
+      origin.clear();
+      origin.reserve(load[s]);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (shard_of[i] == s) origin.push_back(i);
+      }
+      dispatch(s, std::span<const std::size_t>(origin));
+      for (std::size_t k = 0; k < origin.size(); ++k) complete(s);
+    }
+  }
+
   template <class Fn, std::size_t... I>
   static std::array<Padded<Obj>, kShards> build(Fn& make_args,
                                                 std::index_sequence<I...>) {

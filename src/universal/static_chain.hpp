@@ -26,6 +26,7 @@
 #include <tuple>
 #include <utility>
 
+#include "core/async.hpp"
 #include "support/assert.hpp"
 #include "support/cacheline.hpp"
 #include "universal/abstract.hpp"
@@ -63,6 +64,14 @@ class StaticAbstractChain {
   Performed perform(Context& ctx, const Request& m) {
     PerProc& me = per_proc_[static_cast<std::size_t>(ctx.id())];
     return resume_at<0>(me.stage, me, ctx, m);
+  }
+
+  // Async adapter (core/async.hpp): the chain's perform is synchronous
+  // (wait-free iff the last stage never aborts), so submit() completes
+  // inline and returns a ready ticket — the uniform submit/complete
+  // surface, no behavioural change.
+  Ticket<Performed> submit(Context& ctx, const Request& m) {
+    return Ticket<Performed>::ready(perform(ctx, m));
   }
 
   // Batch path: applies `ms` in order in ONE chain traversal, filling

@@ -217,11 +217,16 @@ TEST(ReportSchema, ContainsRequiredKeys) {
   write_json(sample_report(), os);
   const std::string json = os.str();
 
-  // Top level.
+  // Top level. The environment keys (hardware_concurrency,
+  // affinity_cpus, git_sha) are additive to scm-bench/v1 — consumers
+  // keyed on the original fields are unaffected, and downloaded sweep
+  // artifacts become interpretable (an 8-thread sweep on a 2-CPU
+  // affinity mask is a different experiment than on 16).
   EXPECT_NE(json.find("\"schema\":\"scm-bench/v1\""), std::string::npos);
   for (const char* key :
        {"\"params\"", "\"threads\"", "\"ops\"", "\"reps\"", "\"warmup\"",
-        "\"schedule\"", "\"seed\"", "\"scenarios\""}) {
+        "\"schedule\"", "\"seed\"", "\"scenarios\"",
+        "\"hardware_concurrency\"", "\"affinity_cpus\"", "\"git_sha\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   // Per scenario.

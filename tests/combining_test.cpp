@@ -19,11 +19,13 @@
 //    the batched execution path preserves the per-op semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "consensus/cas_consensus.hpp"
@@ -415,6 +417,73 @@ TEST(Combining, SoloStreamIsIdenticalToDirectInvocation) {
   EXPECT_EQ(combined.stats(1).invocations(), 0u);
 }
 
+TEST(Combining, InvokeBatchRunsTheWholeBatchUnderOneElection) {
+  // Combining is itself BatchInvocable: a caller-provided batch (e.g.
+  // a per-shard sub-batch built by Sharded::invoke_batch) is executed
+  // under ONE combiner election through the wrapped object's batch
+  // path — not one publication round trip per op — with results
+  // identical to invoking the slots in order.
+  using Pipe = Pipeline<StageGate, StageGate, StageGate>;
+  static_assert(BatchInvocable<Combining<Pipe, 4, ByThread>, NativeContext>);
+
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    std::vector<OpSlot> slots = random_slots(seed, 11, 4);
+
+    Pipe per_op(StageGate{0}, StageGate{1}, StageGate{2});
+    const std::vector<ModuleResult> expect = drive_per_op(per_op, slots);
+
+    Combining<Pipe, 4, ByThread> combined(
+        std::in_place, StageGate{0}, StageGate{1}, StageGate{2});
+    NativeContext ctx(0);
+    combined.invoke_batch(ctx, std::span<OpSlot>(slots));
+
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      EXPECT_TRUE(slots[i].done) << "slot " << i << " seed " << seed;
+      EXPECT_EQ(slots[i].result.outcome, expect[i].outcome) << i;
+      EXPECT_EQ(slots[i].result.response, expect[i].response) << i;
+      EXPECT_EQ(slots[i].result.switch_value, expect[i].switch_value) << i;
+    }
+    // The whole batch counted as direct (no publication round trips).
+    EXPECT_EQ(combined.direct_ops(), slots.size());
+    EXPECT_EQ(combined.combined_ops(), 0u);
+  }
+}
+
+TEST(Combining, ShardedInvokeBatchHandsPerShardCombinersRealBatches) {
+  // The composition the grouping exists for: Sharded::invoke_batch
+  // builds per-shard sub-batches and run_batch dispatches them through
+  // each shard's Combining::invoke_batch — so a solo batch drive shows
+  // every op on the combiner's direct batch path, zero publications.
+  Sharded<Combining<Pipeline<HopModule, TicketModule>, 4, ByThread>, 2,
+          ByKeyHash>
+      sharded;
+  NativeContext ctx(0);
+
+  std::vector<OpSlot> slots;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    slots.push_back(OpSlot{arg_req(i + 1, 0, static_cast<std::int64_t>(i)),
+                           std::nullopt,
+                           {},
+                           false,
+                           OpCompletion::kAttached});
+  }
+  sharded.invoke_batch(ctx, std::span<OpSlot>(slots));
+
+  std::uint64_t direct = 0, combined = 0, sink = 0;
+  for (std::size_t s = 0; s < 2; ++s) {
+    direct += sharded.shard(s).direct_ops();
+    combined += sharded.shard(s).combined_ops();
+    sink += sharded.shard(s).object().stage<1>().count();
+  }
+  EXPECT_EQ(sink, slots.size());
+  EXPECT_EQ(direct, slots.size());
+  EXPECT_EQ(combined, 0u);
+  for (const OpSlot& s : slots) {
+    EXPECT_TRUE(s.done);
+    EXPECT_TRUE(s.result.committed());
+  }
+}
+
 TEST(Combining, SeededInitsPlumbThroughThePublicationSlot) {
   Combining<Pipeline<HopModule, SinkModule>, 2, ByThread> combined;
   NativeContext ctx(0);
@@ -527,6 +596,44 @@ TEST(Combining, ShardedCombiningKeepsPerShardAccounting) {
   // Merged stats forwarded through Combining and summed by Sharded.
   EXPECT_EQ(sharded.stats(1).commits,
             static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+TEST(Combining, BackoffLadderLosesNoOpsUnderOversubscription) {
+  // The spin → pause → yield ladder (detail::combining_backoff) exists
+  // for exactly this regime: more runnable publishers than cores, so a
+  // waiter that refuses to yield burns the timeslice the combiner (or
+  // the slot owner) needs. Oversubscribe deliberately and verify
+  // nothing is lost: every op commits a distinct ticket and the
+  // telemetry accounts for every invocation. There are no wakeups to
+  // lose by construction — every backoff rung returns to a re-read of
+  // the watched variable — and this pins the ladder against
+  // reintroducing one (e.g. a futex-style sleep without a matching
+  // wake on the publish path).
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int threads =
+      std::clamp(static_cast<int>(hw == 0 ? 2 : hw) * 2, 4, 16);
+  constexpr std::uint64_t kOps = 256;
+  const std::uint64_t total = static_cast<std::uint64_t>(threads) * kOps;
+
+  Combining<Pipeline<HopModule, TicketModule>, 4, ByThread> combined;
+  std::vector<std::atomic<std::uint8_t>> seen(total);
+  std::atomic<std::uint64_t> bad{0};
+
+  (void)workload::run_threads(
+      threads, kOps, [&](NativeContext& ctx, std::uint64_t i) {
+        const ModuleResult r = combined.invoke(
+            ctx, Request{(static_cast<std::uint64_t>(ctx.id()) << 40) | (i + 1),
+                         ctx.id(), CounterSpec::kFetchInc, 0});
+        const auto ticket = static_cast<std::uint64_t>(r.response);
+        if (!r.committed() || ticket >= total ||
+            seen[ticket].exchange(1, std::memory_order_relaxed) != 0) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_EQ(combined.object().stage<1>().count(), total);
+  EXPECT_EQ(combined.combined_ops() + combined.direct_ops(), total);
 }
 
 TEST(Combining, ConcurrentHistoryLinearizesAgainstCounterSpec) {

@@ -18,11 +18,13 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <tuple>
 #include <vector>
 
 #include "consensus/cas_consensus.hpp"
 #include "consensus/split_consensus.hpp"
+#include "core/batch.hpp"
 #include "core/module.hpp"
 #include "core/pipeline.hpp"
 #include "core/sharding.hpp"
@@ -441,6 +443,174 @@ TEST(Sharded, WrapsStaticAbstractChainWithPerShardArguments) {
     }
   }
   EXPECT_EQ(agg, 8u);
+}
+
+// Commits the inherited fold tagged with a per-instance ticket, so
+// response streams expose both the routing and the execution order.
+struct CountingSink {
+  static constexpr int kConsensusNumber = kConsensusNumberRegister;
+  std::int64_t next = 0;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& /*ctx*/, const Request& /*m*/,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    return ModuleResult::commit(init.value_or(0) * 1000 + next++);
+  }
+};
+
+TEST(Sharded, InvokeBatchMatchesPerOpRoutingExactly) {
+  // The regression pinning the batch-grouping contract: every pending
+  // slot is routed exactly once, in slot order, so a STATEFUL policy
+  // (RoundRobin — the adversarial case) advances identically under the
+  // batch path and the per-op loop, and the per-shard accounting (the
+  // shard each op ran on, the order within each shard, the per-stage
+  // stats) matches exactly.
+  using Pipe = Pipeline<HopModule, CountingSink>;
+  Sharded<Pipe, 4, RoundRobin> per_op;
+  Sharded<Pipe, 4, RoundRobin> batched;
+  NativeContext ctx(0);
+
+  std::vector<OpSlot> slots;
+  for (std::uint64_t i = 0; i < 13; ++i) {
+    OpSlot s;
+    s.request = keyed_req(i + 1, 0, i * 7);
+    if (i % 3 == 0) s.init = static_cast<SwitchValue>(i);
+    slots.push_back(s);
+  }
+  // Pre-finalized slots must be skipped — not routed, not executed
+  // (routing one would advance the policy and desync every later op).
+  slots[4].done = true;
+  slots[4].result = ModuleResult::commit(-1);
+  slots[9].done = true;
+  slots[9].result = ModuleResult::commit(-2);
+
+  std::vector<ModuleResult> want(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].done) {
+      want[i] = slots[i].result;
+      continue;
+    }
+    want[i] = per_op.invoke(ctx, slots[i].request, slots[i].init);
+  }
+
+  batched.invoke_batch(ctx, std::span<OpSlot>(slots));
+
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_TRUE(slots[i].done) << i;
+    EXPECT_EQ(slots[i].result.outcome, want[i].outcome) << i;
+    EXPECT_EQ(slots[i].result.response, want[i].response) << i;
+  }
+  // Per-shard accounting: each replica saw the same invocation
+  // subsequence under both paths.
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(batched.shard(s).stats(0).aborts, per_op.shard(s).stats(0).aborts)
+        << "shard " << s;
+    EXPECT_EQ(batched.shard(s).stats(1).commits,
+              per_op.shard(s).stats(1).commits)
+        << "shard " << s;
+    EXPECT_EQ(batched.shard(s).template stage<1>().next,
+              per_op.shard(s).template stage<1>().next)
+        << "shard " << s;
+  }
+}
+
+TEST(Sharded, InvokeBatchRoutesKeysLikePerOpInvoke) {
+  // ByKeyHash grouping: per-key determinism survives the batch path —
+  // the same key reaches the same shard either way.
+  using Pipe = Pipeline<HopModule, CountingSink>;
+  Sharded<Pipe, 4, ByKeyHash> per_op;
+  Sharded<Pipe, 4, ByKeyHash> batched;
+  NativeContext ctx(0);
+
+  std::vector<OpSlot> slots;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    OpSlot s;
+    s.request = keyed_req(i + 1, 0, i % 5);  // repeated keys
+    slots.push_back(s);
+  }
+  std::vector<ModuleResult> want(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    want[i] = per_op.invoke(ctx, slots[i].request, slots[i].init);
+  }
+  batched.invoke_batch(ctx, std::span<OpSlot>(slots));
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i].result.response, want[i].response) << i;
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(batched.shard(s).stats(1).commits,
+              per_op.shard(s).stats(1).commits)
+        << "shard " << s;
+  }
+}
+
+TEST(Sharded, PerformBatchGroupsChainRequestsPerShard) {
+  // Chain-shaped counterpart: group, one perform_batch per shard,
+  // scatter the ChainPerformed results back to their original
+  // positions. Solo under a sequential schedule, so the batch run is
+  // deterministic and comparable against per-op perform on identical
+  // replicas.
+  using SplitStage = ComposableUniversal<SimPlatform, CounterSpec,
+                                         SplitConsensus<SimPlatform>, 48>;
+  using CasStage = ComposableUniversal<SimPlatform, CounterSpec,
+                                       CasConsensus<SimPlatform>, 48>;
+  using Chain = StaticAbstractChain<SplitStage, CasStage>;
+  constexpr std::size_t kOps = 10;
+
+  constexpr int kN = 1;  // named: forward_as_tuple holds references
+  SplitStage split_a0(kN, 48, "a0"), split_a1(kN, 48, "a1");
+  CasStage cas_a0(kN, 48, "ca0"), cas_a1(kN, 48, "ca1");
+  Sharded<Chain, 2, ByKeyHash> per_op(std::in_place, [&](std::size_t shard) {
+    return shard == 0 ? std::forward_as_tuple(kN, split_a0, cas_a0)
+                      : std::forward_as_tuple(kN, split_a1, cas_a1);
+  });
+  SplitStage split_b0(kN, 48, "b0"), split_b1(kN, 48, "b1");
+  CasStage cas_b0(kN, 48, "cb0"), cas_b1(kN, 48, "cb1");
+  Sharded<Chain, 2, ByKeyHash> batched(std::in_place, [&](std::size_t shard) {
+    return shard == 0 ? std::forward_as_tuple(kN, split_b0, cas_b0)
+                      : std::forward_as_tuple(kN, split_b1, cas_b1);
+  });
+
+  std::array<Request, kOps> ms;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    ms[i] = Request{static_cast<std::uint64_t>(i) + 1, 0,
+                    CounterSpec::kFetchInc,
+                    static_cast<std::int64_t>(i % 3)};  // repeated keys
+  }
+
+  std::array<ChainPerformed, kOps> want;
+  std::array<ChainPerformed, kOps> got;
+  {
+    Simulator s;
+    s.add_process([&](SimContext& ctx) {
+      for (std::size_t i = 0; i < kOps; ++i) {
+        want[i] = per_op.perform(ctx, ms[i]);
+      }
+    });
+    sim::SequentialSchedule sched;
+    s.run(sched);
+  }
+  {
+    Simulator s;
+    s.add_process([&](SimContext& ctx) {
+      batched.perform_batch(ctx, std::span<const Request>(ms),
+                            std::span<ChainPerformed>(got));
+    });
+    sim::SequentialSchedule sched;
+    s.run(sched);
+  }
+
+  for (std::size_t i = 0; i < kOps; ++i) {
+    EXPECT_EQ(got[i].response, want[i].response) << i;
+    EXPECT_EQ(got[i].stage, want[i].stage) << i;
+  }
+  // Per-shard chain accounting matches per-op routing exactly.
+  for (std::size_t sh = 0; sh < 2; ++sh) {
+    for (std::size_t st = 0; st < 2; ++st) {
+      EXPECT_EQ(batched.shard(sh).commits_by(0, st),
+                per_op.shard(sh).commits_by(0, st))
+          << "shard " << sh << " stage " << st;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
