@@ -1,0 +1,314 @@
+#include "bench/compare.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace scm::bench {
+
+namespace {
+
+// Recursive-descent parser over the writer's output grammar (plus
+// ordinary whitespace). Depth-limited so a malicious file cannot blow
+// the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    std::optional<JsonValue> v = value(0);
+    skip_ws();
+    if (v.has_value() && pos_ != text_.size()) {
+      fail("trailing characters after the document");
+      v = std::nullopt;
+    }
+    if (!v.has_value() && error != nullptr) *error = error_;
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> string() {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          const unsigned long cp =
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // The writer only \u-escapes control characters; anything
+          // beyond Latin-1 is preserved as raw UTF-8 and never takes
+          // this path.
+          out.push_back(static_cast<char>(cp & 0xff));
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> value(int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    JsonValue v;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (consume('}')) return v;
+      do {
+        auto k = string();
+        if (!k.has_value()) return std::nullopt;
+        if (!consume(':')) {
+          fail("expected ':'");
+          return std::nullopt;
+        }
+        auto member = value(depth + 1);
+        if (!member.has_value()) return std::nullopt;
+        if (v.find(*k) == nullptr) {
+          v.members.emplace_back(std::move(*k), std::move(*member));
+        }
+      } while (consume(','));
+      if (!consume('}')) {
+        fail("expected '}'");
+        return std::nullopt;
+      }
+      return v;
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (consume(']')) return v;
+      do {
+        auto item = value(depth + 1);
+        if (!item.has_value()) return std::nullopt;
+        v.items.push_back(std::move(*item));
+      } while (consume(','));
+      if (!consume(']')) {
+        fail("expected ']'");
+        return std::nullopt;
+      }
+      return v;
+    }
+    if (c == '"') {
+      auto s = string();
+      if (!s.has_value()) return std::nullopt;
+      v.kind = JsonValue::Kind::kString;
+      v.string = std::move(*s);
+      return v;
+    }
+    if (literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (literal("null")) return v;
+    // Number: delegate to strtod, which accepts exactly the forms the
+    // writer emits (%.6g plus plain integers).
+    {
+      char* end = nullptr;
+      const double d = std::strtod(text_.c_str() + pos_, &end);
+      if (end == text_.c_str() + pos_) {
+        fail("unexpected character");
+        return std::nullopt;
+      }
+      pos_ = static_cast<std::size_t>(end - text_.c_str());
+      v.kind = JsonValue::Kind::kNumber;
+      v.number = d;
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::optional<JsonValue> load_report(const std::string& path,
+                                     std::ostream& os) {
+  std::ifstream in(path);
+  if (!in) {
+    os << "--compare: cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto doc = parse_json(buf.str(), &error);
+  if (!doc.has_value()) {
+    os << "--compare: " << path << ": " << error << "\n";
+    return std::nullopt;
+  }
+  if (const JsonValue* schema = doc->find("schema");
+      schema == nullptr || schema->string != "scm-bench/v1") {
+    os << "--compare: " << path << " is not an scm-bench/v1 report\n";
+    return std::nullopt;
+  }
+  return doc;
+}
+
+struct ScenarioMedian {
+  std::string name;
+  std::string backend;
+  double median = 0.0;
+};
+
+std::vector<ScenarioMedian> medians_of(const JsonValue& doc) {
+  std::vector<ScenarioMedian> out;
+  const JsonValue* scenarios = doc.find("scenarios");
+  if (scenarios == nullptr || !scenarios->is_array()) return out;
+  for (const JsonValue& s : scenarios->items) {
+    const JsonValue* name = s.find("scenario");
+    const auto median = s.number_at({"ns_per_op", "median"});
+    if (name == nullptr || !name->is_string() || !median.has_value()) {
+      continue;
+    }
+    const JsonValue* backend = s.find("backend");
+    out.push_back({name->string,
+                   backend != nullptr ? backend->string : std::string(),
+                   *median});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    std::string* error) {
+  return Parser(text).parse(error);
+}
+
+int run_compare(const std::string& old_path, const std::string& new_path,
+                double threshold, std::ostream& os) {
+  const auto old_doc = load_report(old_path, os);
+  const auto new_doc = load_report(new_path, os);
+  if (!old_doc.has_value() || !new_doc.has_value()) return 2;
+
+  const std::vector<ScenarioMedian> olds = medians_of(*old_doc);
+  const std::vector<ScenarioMedian> news = medians_of(*new_doc);
+
+  Table t({"scenario", "old ns/op", "new ns/op", "delta", "verdict"});
+  int regressions = 0;
+  std::size_t compared = 0;
+  for (const ScenarioMedian& n : news) {
+    const ScenarioMedian* o = nullptr;
+    for (const ScenarioMedian& cand : olds) {
+      if (cand.name == n.name) {
+        o = &cand;
+        break;
+      }
+    }
+    if (o == nullptr) {
+      t.row(n.name, "-", n.median, "-", "new");
+      continue;
+    }
+    // Sub-resolution or sim medians carry no wall-time signal: a
+    // 0 → 0.3ns "regression" is clock noise, not a slowdown.
+    if (o->median <= 0.0 || n.backend == "sim") {
+      t.row(n.name, o->median, n.median, "-", "skipped");
+      continue;
+    }
+    ++compared;
+    const double delta = (n.median - o->median) / o->median;
+    char delta_buf[32];
+    std::snprintf(delta_buf, sizeof(delta_buf), "%+.1f%%", delta * 100.0);
+    if (delta > threshold) {
+      ++regressions;
+      t.row(n.name, o->median, n.median, delta_buf, "REGRESSED");
+    } else {
+      t.row(n.name, o->median, n.median, delta_buf, "ok");
+    }
+  }
+  for (const ScenarioMedian& o : olds) {
+    bool found = false;
+    for (const ScenarioMedian& n : news) found = found || n.name == o.name;
+    if (!found) t.row(o.name, o.median, "-", "-", "missing");
+  }
+
+  std::ostringstream title;
+  title << "bench compare (threshold " << threshold * 100.0 << "%)";
+  t.print(os, title.str());
+  os << compared << " compared, " << regressions << " regressed\n";
+  return regressions > 0 ? 1 : 0;
+}
+
+}  // namespace scm::bench

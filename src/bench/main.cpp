@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/compare.hpp"
 #include "bench/registry.hpp"
 #include "bench/runner.hpp"
 #include "support/table.hpp"
@@ -44,6 +45,11 @@ void print_usage() {
       "  --pin              pin scm-worker-N threads to cores (native\n"
       "                     scenarios; recorded in the JSON report)\n"
       "  --json=FILE        write the scm-bench/v1 report to FILE\n"
+      "  --compare OLD NEW  regression gate: compare two scm-bench/v1\n"
+      "                     reports by scenario median ns_per_op and exit\n"
+      "                     nonzero on regression (no scenarios are run)\n"
+      "  --threshold=T      --compare tolerance as a fraction\n"
+      "                     (default 0.25 = +25%%)\n"
       "  --help             this text\n");
 }
 
@@ -61,6 +67,9 @@ int main(int argc, char** argv) {
   BenchParams params;
   std::string filter;
   std::string json_path;
+  std::string compare_old;
+  std::string compare_new;
+  double compare_threshold = 0.25;
   bool list_only = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -68,6 +77,19 @@ int main(int argc, char** argv) {
     std::string value;
     if (arg == "--list") {
       list_only = true;
+    } else if (arg == "--compare") {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr, "--compare needs OLD and NEW report paths\n");
+        return 2;
+      }
+      compare_old = argv[++i];
+      compare_new = argv[++i];
+    } else if (parse_flag(arg, "--threshold", &value)) {
+      compare_threshold = std::atof(value.c_str());
+      if (compare_threshold <= 0.0) {
+        std::fprintf(stderr, "--threshold must be a positive fraction\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
@@ -95,6 +117,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // Compare mode runs no scenarios: parse, diff, exit.
+  if (!compare_old.empty()) {
+    return run_compare(compare_old, compare_new, compare_threshold,
+                       std::cout);
+  }
+
   if (params.threads <= 0 || params.reps <= 0 || params.warmup < 0 ||
       params.ops == 0) {
     std::fprintf(stderr,

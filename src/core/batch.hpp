@@ -72,14 +72,17 @@ concept BatchInvocable = requires(M m, Ctx& ctx, std::span<OpSlot> batch) {
 // Generic batch dispatch: the module's own invoke_batch when it has
 // one, otherwise the semantics-defining per-op loop. Every pending
 // (done == false) slot's result is filled and its flag set on return.
+// The fallback enters through scm::apply(), so any Composable —
+// module-shaped or chain-shaped — can sit under a batching layer.
 template <class M, class Ctx>
+  requires BatchInvocable<M, Ctx> || Composable<M, Ctx>
 void run_batch(M& m, Ctx& ctx, std::span<OpSlot> batch) {
   if constexpr (BatchInvocable<M, Ctx>) {
     m.invoke_batch(ctx, batch);
   } else {
     for (OpSlot& slot : batch) {
       if (slot.done) continue;
-      slot.result = m.invoke(ctx, slot.request, slot.init);
+      slot.result = scm::apply(m, ctx, slot.request, slot.init);
       slot.done = true;
     }
   }

@@ -1,0 +1,519 @@
+// Read-mostly replication: serve reads from versioned local replicas,
+// pay the paper's composition price only on the write slice.
+//
+// The paper's per-operation costs (extra RMWs and steps per layer
+// crossed) are unavoidable for operations that MUTATE the composed
+// object; a read against a cached snapshot is a relaxed load plus a
+// version check. Replicated<Obj, N, Model> keeps N cacheline-padded
+// replica tables of {key, value, generation} entries, each entry
+// guarded by a seqlock-style version word:
+//
+//   * reads classified read-only by the Model are served from the
+//     caller's replica via a version-checked snapshot — no shared
+//     write, no RMW, which is what lets the read slice scale with
+//     cores while the write slice tracks the wrapped object's curve
+//     (the compose.cached scenario's claim);
+//   * writes are funneled unchanged through the wrapped object's
+//     submit() path (Combining's publication slots), and the
+//     operation's completion callback performs invalidation + refill:
+//     bump the global generation (one fetch_add — every replica's
+//     stale entries miss from that point on, O(1) invalidation), then
+//     reinstall the written key odd→apply→even under the entry's
+//     seqlock;
+//   * a cache-miss fill is just the read submitted through the object
+//     with a fill callback — against a slow backend the ticket simply
+//     completes late, exactly PR 5's "the caching layer must consume
+//     Ticket<R>s" instruction.
+//
+// Correctness (linearizable mode, staleness bound 0): a hit requires
+// the entry's generation to EQUAL the global generation loaded at the
+// start of the read — the read's linearization point. The wrapped
+// object's completion callbacks fire at each operation's serialization
+// point (Combining runs them under the election lock on every path),
+// so generations are assigned in linearization order: an entry
+// matching the current generation holds exactly the value the object
+// would return, and every committed write bumps the generation before
+// its publisher can return, so no later read can hit a pre-write
+// entry. Mixed histories are pinned by lincheck in caching_test.
+// Raising the staleness bound k admits snapshots up to k generations
+// old (the Perrin et al. trade: replicas may serve slightly stale
+// snapshots where the spec allows it); the entry seqlock still makes
+// torn values impossible at every bound.
+//
+// Backend requirements: in linearizable mode the wrapped object must
+// run completion callbacks at the serialization point (Combining, or
+// Sharded<Combining> routed ByKeyHash so same-key operations share a
+// shard — cross-key callback races only cause conservative misses).
+// Objects without a callback-carrying submit (a bare pipeline) still
+// compose — operations run through scm::apply with the callback fired
+// inline — but then the ordering guarantee is the caller's problem
+// (fine single-threaded, which is all such objects support anyway).
+//
+// Cached<Obj, Model> is the single-replica special case: one shared
+// table, still seqlock-correct, for when the working set is hot reads
+// on few cores.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "core/async.hpp"
+#include "core/module.hpp"
+#include "core/sharding.hpp"
+#include "history/request.hpp"
+#include "support/assert.hpp"
+#include "support/cacheline.hpp"
+
+namespace scm {
+
+// A replication model tells the cache how to interpret a spec's
+// requests: which ops are read-only (servable from a replica), which
+// cache key a request touches, and — after a committed write — what a
+// subsequent read of that key would return (std::nullopt when the
+// write's effect on reads is not derivable from its response, in
+// which case the cache invalidates without refilling).
+template <class M>
+concept ReplicationModel =
+    requires(const Request& m, Response r) {
+      { M::is_read(m) } -> std::convertible_to<bool>;
+      { M::key(m) } -> std::convertible_to<std::uint64_t>;
+      { M::read_after_write(m, r) } -> std::same_as<std::optional<Response>>;
+    };
+
+template <class Obj, std::size_t kReplicas, class Model,
+          class Policy = ByThread, std::size_t kEntries = 64,
+          std::size_t kRecs = 32>
+  requires ReplicationModel<Model>
+class Replicated : public detail::ShardedConsensusBase<Obj>,
+                   public detail::ShardedDepthBase<Obj> {
+  static_assert(kReplicas >= 1, "a replicated cache needs a replica");
+  static_assert(kEntries >= 1, "a replica needs at least one entry");
+  static_assert(kRecs >= 1, "the async completion pool needs a record");
+
+ public:
+  static constexpr std::size_t kReplicaCount = kReplicas;
+  static constexpr std::size_t kEntryCount = kEntries;
+
+  Replicated()
+    requires std::is_default_constructible_v<Obj>
+      : obj_{} {}
+
+  template <class... Args>
+  explicit Replicated(std::in_place_t, Args&&... args)
+      : obj_(std::in_place, std::forward<Args>(args)...) {}
+
+  Replicated(const Replicated&) = delete;
+  Replicated& operator=(const Replicated&) = delete;
+
+  // Every async completion record must have been released by its
+  // callback before the cache goes away — an outstanding record means
+  // an operation is still in flight inside the wrapped object and its
+  // callback is about to write freed memory. Collect or drop all
+  // tickets (a dropped ticket waits its operation out) and drain()
+  // detached submissions first.
+  ~Replicated() {
+    for (auto& p : recs_) {
+      SCM_CHECK_MSG(p.value.busy.load(std::memory_order_acquire) == 0,
+                    "Replicated destroyed with an in-flight completion "
+                    "record (outstanding submission)");
+    }
+  }
+
+  // Module surface: reads hit the caller's replica when fresh enough,
+  // everything else — misses, writes, initialized (switch-carrying)
+  // requests — runs through the wrapped object with the appropriate
+  // completion callback. The callback completes before the wrapped
+  // object hands the result back (Combining fires it before kDone),
+  // so a stack record suffices here.
+  template <class Ctx>
+    requires Composable<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& m,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    const std::size_t rep = replica_of(ctx, m);
+    if (Model::is_read(m) && !init.has_value()) {
+      if (const auto v = try_read(ctx, rep, key_of(m))) {
+        return ModuleResult::commit(*v);
+      }
+      CacheRec rec(this, rep, m, /*pooled=*/false);
+      return run_through(ctx, m, init, &Replicated::fill_cb, &rec);
+    }
+    CacheRec rec(this, rep, m, /*pooled=*/false);
+    return run_through(ctx, m, init, &Replicated::write_cb, &rec);
+  }
+
+  // Async surface: a read hit is a ready ticket (it cost no shared
+  // write, there is nothing to wait for); a miss or write is the
+  // wrapped object's own submission with a pooled completion record
+  // carrying the invalidation/refill. When the pool is exhausted the
+  // operation still proceeds — a miss just skips its fill, a write
+  // falls back to invalidate-only (self is the cookie; correctness
+  // never depends on refills, they only raise the hit rate).
+  template <class Ctx>
+    requires Composable<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
+  Ticket<ModuleResult> submit(Ctx& ctx, const Request& m,
+                              std::optional<SwitchValue> init = std::nullopt) {
+    const std::size_t rep = replica_of(ctx, m);
+    if (Model::is_read(m) && !init.has_value()) {
+      if (const auto v = try_read(ctx, rep, key_of(m))) {
+        return Ticket<ModuleResult>::ready(ModuleResult::commit(*v));
+      }
+      if (CacheRec* rec = claim_rec(rep, m)) {
+        return submit_through(ctx, m, init, &Replicated::fill_cb, rec);
+      }
+      return submit_through(ctx, m, init, nullptr, nullptr);
+    }
+    if (CacheRec* rec = claim_rec(rep, m)) {
+      return submit_through(ctx, m, init, &Replicated::write_cb, rec);
+    }
+    return submit_through(ctx, m, init, &Replicated::invalidate_cb, this);
+  }
+
+  // Probe a replica's table directly — no fill, no traffic to the
+  // wrapped object. Tests and scenarios use this to check that a
+  // committed write is (in)visible on every replica.
+  [[nodiscard]] std::optional<Response> read_at(std::size_t replica,
+                                                std::uint64_t key) {
+    SCM_CHECK(replica < kReplicas);
+    return snapshot(replicas_[replica], key,
+                    version_.value.load(std::memory_order_seq_cst));
+  }
+
+  // Staleness bound in generations: 0 (the default) is linearizable —
+  // a hit must match the current generation exactly; k admits
+  // snapshots at most k committed writes old.
+  void set_staleness_bound(std::uint64_t k) noexcept {
+    staleness_bound_.store(k, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t staleness_bound() const noexcept {
+    return staleness_bound_.load(std::memory_order_relaxed);
+  }
+
+  // The global generation: one bump per completed write — equal to the
+  // number of invalidations performed.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.value.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t invalidations() const noexcept {
+    return version();
+  }
+
+  // ---- cache telemetry (relaxed, aggregated over replicas).
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return sum(&Replica::hits);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return sum(&Replica::misses);
+  }
+  // Snapshot attempts abandoned because an installer held the entry's
+  // seqlock odd (or moved it) mid-read — each one became a miss, never
+  // a torn value.
+  [[nodiscard]] std::uint64_t torn_retries() const noexcept {
+    return sum(&Replica::torn);
+  }
+  [[nodiscard]] std::uint64_t fills() const noexcept {
+    return sum(&Replica::fills);
+  }
+
+  [[nodiscard]] Obj& object() noexcept { return obj_.value; }
+  [[nodiscard]] const Obj& object() const noexcept { return obj_.value; }
+
+  [[nodiscard]] Policy& policy() noexcept { return policy_; }
+  [[nodiscard]] const Policy& policy() const noexcept { return policy_; }
+
+  // ---- forwarded surfaces (enabled exactly when Obj provides them).
+
+  template <class Ctx>
+  void drain(Ctx& ctx)
+    requires requires(Obj& o) { o.drain(ctx); }
+  {
+    obj_.value.drain(ctx);
+  }
+
+  [[nodiscard]] PipelineStageStats stats(std::size_t i) const
+    requires requires(const Obj& o, std::size_t j) {
+      { o.stats(j) } -> std::same_as<PipelineStageStats>;
+    }
+  {
+    return obj_.value.stats(i);
+  }
+
+  void reset_stats() noexcept
+    requires requires(Obj& o) { o.reset_stats(); }
+  {
+    obj_.value.reset_stats();
+  }
+
+  [[nodiscard]] std::uint64_t commits_by(ProcessId pid, std::size_t i) const
+    requires requires(const Obj& o, std::size_t j) { o.commits_by(pid, j); }
+  {
+    return obj_.value.commits_by(pid, i);
+  }
+
+  // Replication adds only registers (the seqlock words and the global
+  // generation), so the composition's consensus power is the wrapped
+  // object's.
+  [[nodiscard]] int consensus_number() const
+    requires requires(const Obj& o) { o.consensus_number(); }
+  {
+    return obj_.value.consensus_number();
+  }
+
+ private:
+  // One direct-mapped cache entry. The seqlock protocol: installers
+  // CAS the version word even→odd (mutual exclusion between
+  // installers; a loser skips its install — refills are best-effort),
+  // write the fields, then release-store even+2. Readers snapshot the
+  // word, read the fields, and re-check the word: any concurrent
+  // install is detected and the read becomes a miss. Fields are
+  // relaxed atomics, not plain loads — a reader may race an installer
+  // by design, and the seqlock re-check is what discards those reads.
+  struct Entry {
+    std::atomic<std::uint64_t> ver{0};
+    std::atomic<std::uint64_t> key1{0};  // key + 1; 0 = empty
+    std::atomic<Response> val{0};
+    std::atomic<std::uint64_t> gen{0};
+  };
+
+  struct alignas(kCacheLineSize) Replica {
+    std::array<Entry, kEntries> entries{};
+    // Telemetry lives with its replica: a ByThread caller bumps
+    // counters on lines it already owns.
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> torn{0};
+    std::atomic<std::uint64_t> fills{0};
+  };
+
+  // Completion-callback state for one in-flight operation: which
+  // replica to refill and the request whose key/effect the refill
+  // concerns. Stack-allocated on blocking paths (the callback runs
+  // before the wrapped object hands the result back); pool-claimed on
+  // async paths, released by the callback.
+  struct CacheRec {
+    CacheRec() = default;
+    CacheRec(Replicated* s, std::size_t r, const Request& m, bool p)
+        : self(s), replica(r), req(m), pooled(p) {}
+
+    Replicated* self = nullptr;
+    std::size_t replica = 0;
+    Request req;
+    bool pooled = false;
+    std::atomic<std::uint32_t> busy{0};
+
+    void release() noexcept {
+      if (pooled) busy.store(0, std::memory_order_release);
+    }
+  };
+
+  template <class Ctx>
+  std::size_t replica_of(Ctx& ctx, const Request& m) {
+    const std::size_t r = policy_(ctx, m, kReplicas);
+    SCM_CHECK_MSG(r < kReplicas,
+                  "replica policy produced an out-of-range replica");
+    return r;
+  }
+
+  [[nodiscard]] static std::uint64_t key_of(const Request& m) {
+    return static_cast<std::uint64_t>(Model::key(m));
+  }
+
+  [[nodiscard]] static std::size_t slot_of(std::uint64_t key) noexcept {
+    return static_cast<std::size_t>(ByKeyHash::mix(key) % kEntries);
+  }
+
+  // The version-checked snapshot shared by the hot read path and the
+  // read_at probe: returns the entry's value iff the seqlock snapshot
+  // is consistent, the key matches, and the tagged generation is
+  // within the staleness bound of `cur`. No counters — callers
+  // attribute hits/misses themselves.
+  std::optional<Response> snapshot(Replica& rep, std::uint64_t key,
+                                   std::uint64_t cur) {
+    Entry& e = rep.entries[slot_of(key)];
+    const std::uint64_t v1 = e.ver.load(std::memory_order_acquire);
+    if ((v1 & 1) != 0) {
+      rep.torn.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    const std::uint64_t k1 = e.key1.load(std::memory_order_relaxed);
+    const Response val = e.val.load(std::memory_order_relaxed);
+    const std::uint64_t g = e.gen.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (e.ver.load(std::memory_order_relaxed) != v1) {
+      rep.torn.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    if (k1 != key + 1) return std::nullopt;
+    // g > cur: installed after this read's linearization point —
+    // serving it would claim the future. g too far below cur: staler
+    // than the bound admits. Both are misses.
+    if (g > cur) return std::nullopt;
+    if (cur - g > staleness_bound_.load(std::memory_order_relaxed)) {
+      return std::nullopt;
+    }
+    return val;
+  }
+
+  // The hot read path: one seq_cst generation load (the linearization
+  // point of a hit) plus the entry snapshot. Counted as two reads —
+  // the generation and the entry are the operation's real shared
+  // traffic; the RMW-free path is the whole point.
+  template <class Ctx>
+  std::optional<Response> try_read(Ctx& ctx, std::size_t rep,
+                                   std::uint64_t key) {
+    ctx.on_read();
+    const std::uint64_t cur = version_.value.load(std::memory_order_seq_cst);
+    ctx.on_read();
+    Replica& r = replicas_[rep];
+    const auto v = snapshot(r, key, cur);
+    (v.has_value() ? r.hits : r.misses)
+        .fetch_add(1, std::memory_order_relaxed);
+    return v;
+  }
+
+  // Best-effort install of (key, val) tagged with generation g. The
+  // even→odd CAS excludes concurrent installers (from differently-
+  // locked backends, e.g. other shards of a Sharded<Combining>); a
+  // lost race abandons the install — the entry's owner wins, later
+  // reads of our key simply miss and refill.
+  void install(std::size_t rep, std::uint64_t key, Response val,
+               std::uint64_t g) {
+    Entry& e = replicas_[rep].entries[slot_of(key)];
+    std::uint64_t v = e.ver.load(std::memory_order_relaxed);
+    if ((v & 1) != 0) return;
+    if (!e.ver.compare_exchange_strong(v, v + 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+    e.key1.store(key + 1, std::memory_order_relaxed);
+    e.val.store(val, std::memory_order_relaxed);
+    e.gen.store(g, std::memory_order_relaxed);
+    e.ver.store(v + 2, std::memory_order_release);
+    replicas_[rep].fills.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // ---- completion callbacks (run by the wrapped object's finalizing
+  // thread at the operation's serialization point — under Combining's
+  // election lock; they must not re-enter the wrapped object, and they
+  // don't: generation + entry seqlocks only).
+
+  // A committed read's response is the object's value for that key at
+  // this serialization point; tag it with the generation as of NOW.
+  // Callbacks fire in linearization order, so every earlier write's
+  // bump is included and no later one — the tag is exact.
+  static void fill_cb(void* user, const ModuleResult& r) {
+    auto* rec = static_cast<CacheRec*>(user);
+    if (r.committed()) {
+      Replicated* self = rec->self;
+      self->install(rec->replica, key_of(rec->req), r.response,
+                    self->version_.value.load(std::memory_order_seq_cst));
+    }
+    rec->release();
+  }
+
+  // A write bumps the generation FIRST (from this instant every
+  // replica's pre-write entries miss), then — when the model can
+  // derive the post-write value — reinstalls the written key into the
+  // writer's replica tagged with the new generation. Aborted results
+  // bump too: a spurious invalidation is a missed hit, never an error.
+  static void write_cb(void* user, const ModuleResult& r) {
+    auto* rec = static_cast<CacheRec*>(user);
+    Replicated* self = rec->self;
+    const std::uint64_t g =
+        self->version_.value.fetch_add(1, std::memory_order_seq_cst) + 1;
+    if (r.committed()) {
+      if (const auto v = Model::read_after_write(rec->req, r.response)) {
+        self->install(rec->replica, key_of(rec->req), *v, g);
+      }
+    }
+    rec->release();
+  }
+
+  // Pool-exhaustion fallback for async writes: invalidate without
+  // refilling (no per-op state needed — the cookie is the cache).
+  static void invalidate_cb(void* user, const ModuleResult&) {
+    static_cast<Replicated*>(user)->version_.value.fetch_add(
+        1, std::memory_order_seq_cst);
+  }
+
+  // ---- routing operations through the wrapped object. Callback-
+  // carrying submit when the object has one (Combining and wrappers
+  // thereof: the callback fires at the serialization point), inline
+  // apply + callback otherwise.
+
+  template <class Ctx>
+  ModuleResult run_through(Ctx& ctx, const Request& m,
+                           std::optional<SwitchValue> init, CompletionFn cb,
+                           void* user) {
+    if constexpr (requires(Obj& o) { o.submit(ctx, m, init, cb, user); }) {
+      return obj_.value.submit(ctx, m, init, cb, user).wait();
+    } else {
+      const ModuleResult r = scm::apply(obj_.value, ctx, m, init);
+      if (cb != nullptr) cb(user, r);
+      return r;
+    }
+  }
+
+  template <class Ctx>
+  Ticket<ModuleResult> submit_through(Ctx& ctx, const Request& m,
+                                      std::optional<SwitchValue> init,
+                                      CompletionFn cb, void* user) {
+    if constexpr (requires(Obj& o) { o.submit(ctx, m, init, cb, user); }) {
+      return obj_.value.submit(ctx, m, init, cb, user);
+    } else {
+      const ModuleResult r = scm::apply(obj_.value, ctx, m, init);
+      if (cb != nullptr) cb(user, r);
+      return Ticket<ModuleResult>::ready(r);
+    }
+  }
+
+  // Claims an async completion record (CAS-scan over a small pool);
+  // nullptr when every record is in flight — callers degrade to the
+  // stateless callback, they never block on the pool.
+  CacheRec* claim_rec(std::size_t replica, const Request& m) {
+    for (auto& p : recs_) {
+      CacheRec& rec = p.value;
+      std::uint32_t expected = 0;
+      if (rec.busy.load(std::memory_order_relaxed) == 0 &&
+          rec.busy.compare_exchange_strong(expected, 1,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+        rec.self = this;
+        rec.replica = replica;
+        rec.req = m;
+        rec.pooled = true;
+        return &rec;
+      }
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::uint64_t sum(
+      std::atomic<std::uint64_t> Replica::* field) const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& r : replicas_) {
+      total += (r.*field).load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  std::array<Replica, kReplicas> replicas_{};
+  Padded<std::atomic<std::uint64_t>> version_{};
+  std::atomic<std::uint64_t> staleness_bound_{0};
+  std::array<Padded<CacheRec>, kRecs> recs_{};
+  Padded<Obj> obj_;
+  [[no_unique_address]] Policy policy_{};
+};
+
+// The single-replica special case: one shared table — the right shape
+// when everything runs on few cores or the replicas would all be
+// filled with the same hot keys anyway.
+template <class Obj, class Model, std::size_t kEntries = 64,
+          std::size_t kRecs = 32>
+using Cached = Replicated<Obj, 1, Model, ByThread, kEntries, kRecs>;
+
+}  // namespace scm

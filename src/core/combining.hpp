@@ -174,7 +174,7 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
   // bounded by its own progress even if the owner submitted
   // asynchronously and is off doing something else).
   template <class Ctx>
-    requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
+    requires Composable<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
   ModuleResult invoke(Ctx& ctx, const Request& m,
                       std::optional<SwitchValue> init = std::nullopt) {
     // Fast path: the combiner lock is free — run the operation
@@ -217,7 +217,7 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
   // this way count as direct (no publication), keeping
   // direct_ops() + combined_ops() == total invocations.
   template <class Ctx>
-    requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
+    requires Composable<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
   void invoke_batch(Ctx& ctx, std::span<OpSlot> batch) {
     if (batch.empty()) return;
     std::uint64_t live = 0;
@@ -245,13 +245,16 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
   // the combiner lock instead — see claim_or_run — so submission
   // never blocks on ticket holders. The optional completion callback
   // runs on the thread that finalizes the operation — the combiner
-  // for published ops (with the election lock held: callbacks must
-  // not re-enter this Combining), the caller on inline paths. On
-  // non-blocking platforms (the step-granting simulator) publication
-  // round trips cannot run, so submit() degenerates to invoke() plus
-  // a ready ticket.
+  // for published ops, the caller on inline paths — and on EVERY path
+  // it fires with the election lock held, right at the op's
+  // serialization point: callbacks across the whole object fire in
+  // linearization order (the caching combinator's invalidation/refill
+  // depends on this), and callbacks must never re-enter this
+  // Combining. On non-blocking platforms (the step-granting
+  // simulator) publication round trips cannot run, so submit()
+  // degenerates to invoke() plus a ready ticket.
   template <class Ctx>
-    requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
+    requires Composable<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
   Ticket<ModuleResult> submit(Ctx& ctx, const Request& m,
                               std::optional<SwitchValue> init = std::nullopt,
                               CompletionFn completion = nullptr,
@@ -279,7 +282,7 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
   // detached submissions survive until some thread combines: callers
   // must drain() (or keep the object busy) before destruction.
   template <class Ctx>
-    requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
+    requires Composable<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
   void submit_detached(Ctx& ctx, const Request& m,
                        std::optional<SwitchValue> init = std::nullopt,
                        CompletionFn completion = nullptr,
@@ -433,10 +436,23 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
   // one, no publication round trip — serves whatever published
   // meanwhile, and releases the lock. The shared body of the
   // uncontended fast path and the slot-exhaustion fallback below.
+  //
+  // The completion callback (when given) fires immediately after the
+  // op executes, still under the election lock — the same point in
+  // the serialization order where a combiner fires published ops'
+  // callbacks. That uniformity is load-bearing for layers that react
+  // to completions (the caching combinator's invalidation/refill):
+  // callbacks across ALL paths fire in linearization order, so a
+  // completion-observer sees object states in the order they took
+  // effect. The corollary holds on every path too: callbacks must not
+  // re-enter this Combining.
   template <class Ctx>
   ModuleResult run_direct(Ctx& ctx, const Request& m,
-                          std::optional<SwitchValue> init) {
-    const ModuleResult r = obj_.value.invoke(ctx, m, init);
+                          std::optional<SwitchValue> init,
+                          CompletionFn completion = nullptr,
+                          void* user = nullptr) {
+    const ModuleResult r = scm::apply(obj_.value, ctx, m, init);
+    if (completion != nullptr) completion(user, r);
     direct_ops_.fetch_add(1, std::memory_order_relaxed);
     combine(ctx);
     lock_.value.store(false, std::memory_order_release);
@@ -467,9 +483,11 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
 
   // Shared body of submit/submit_detached on blocking platforms:
   // completes the operation inline — fast path or exhaustion fallback,
-  // running the callback and returning nullopt with *out filled — or
-  // claims AND publishes a record, returning its index (the callback
-  // then travels with the publication).
+  // with the callback fired under the election lock inside run_direct,
+  // returning nullopt with *out filled — or claims AND publishes a
+  // record, returning its index (the callback then travels with the
+  // publication and the serving combiner fires it, likewise under the
+  // lock).
   template <class Ctx>
   std::optional<std::size_t> submit_impl(Ctx& ctx, const Request& m,
                                          std::optional<SwitchValue> init,
@@ -477,16 +495,14 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
                                          CompletionFn completion, void* user,
                                          ModuleResult* out) {
     if (try_lock(ctx)) {
-      *out = run_direct(ctx, m, init);
-    } else {
-      const auto idx = claim_or_run(ctx, m, init, out);
-      if (idx.has_value()) {
-        publish(ctx, slots_[*idx].value, m, init, detached, completion,
-                user);
-        return idx;
-      }
+      *out = run_direct(ctx, m, init, completion, user);
+      return std::nullopt;
     }
-    if (completion != nullptr) completion(user, *out);
+    const auto idx = claim_or_run(ctx, m, init, out, completion, user);
+    if (idx.has_value()) {
+      publish(ctx, slots_[*idx].value, m, init, detached, completion, user);
+      return idx;
+    }
     return std::nullopt;
   }
 
@@ -511,7 +527,9 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
   template <class Ctx>
   std::optional<std::size_t> claim_or_run(Ctx& ctx, const Request& m,
                                           std::optional<SwitchValue> init,
-                                          ModuleResult* out) {
+                                          ModuleResult* out,
+                                          CompletionFn completion = nullptr,
+                                          void* user = nullptr) {
     const std::size_t hint = route_slot(ctx, m);
     int spins = 0;
     for (;;) {
@@ -529,7 +547,7 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
         if (const auto idx = try_claim_rotation(ctx, hint)) return idx;
       }
       if (try_lock(ctx)) {
-        *out = run_direct(ctx, m, init);
+        *out = run_direct(ctx, m, init, completion, user);
         // The routed record was never used: balance a load-tracking
         // policy's in-flight increment from route_slot, or its
         // counters drift up on every inline fallback.

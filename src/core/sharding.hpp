@@ -227,17 +227,17 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
     return s;
   }
 
-  // Module surface (enabled when Obj is a ComposableModule): route,
-  // then run the replica. Together with the inherited kConsensusNumber
-  // this makes Sharded<Pipeline<...>> a ComposableModule again.
+  // Module surface: route, then run the replica through the uniform
+  // apply() entry — any Composable (module- OR chain-shaped) replica
+  // serves it, so Sharded<StaticAbstractChain<...>> answers invoke()
+  // too. Together with the inherited kConsensusNumber this makes
+  // Sharded<Pipeline<...>> a ComposableModule again.
   template <class Ctx>
-    requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
+    requires Composable<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
   ModuleResult invoke(Ctx& ctx, const Request& m,
                       std::optional<SwitchValue> init = std::nullopt) {
-    const std::size_t s = route(ctx, m);
-    const ModuleResult r = invoke_at(s, ctx, m, init);
-    complete(s);
-    return r;
+    return routed(ctx, m,
+                  [&](std::size_t s) { return invoke_at(s, ctx, m, init); });
   }
 
   // Runs the operation on an explicitly chosen shard. Callers that
@@ -246,24 +246,24 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
   // consult the policy twice, and a stateful policy (RoundRobin)
   // advances on every consultation, so the two calls could disagree.
   template <class Ctx>
-    requires ComposableModule<Obj, Ctx>
+    requires Composable<Obj, Ctx>
   ModuleResult invoke_at(std::size_t s, Ctx& ctx, const Request& m,
                          std::optional<SwitchValue> init = std::nullopt) {
     SCM_CHECK(s < kShards);
-    return shard(s).invoke(ctx, m, init);
+    return scm::apply(shard(s), ctx, m, init);
   }
 
   // Chain surface (enabled when Obj is chain-like): same routing, the
-  // universal layers' perform() instead of the module invoke().
+  // universal layers' perform() instead of the module invoke() —
+  // kept alongside apply() because ChainPerformed carries more than a
+  // ModuleResult (serving stage, commit history).
   template <class Ctx>
     requires ShardRoutingPolicy<Policy, Ctx>
   auto perform(Ctx& ctx, const Request& m)
     requires requires(Obj& o) { o.perform(ctx, m); }
   {
-    const std::size_t s = route(ctx, m);
-    auto r = perform_at(s, ctx, m);
-    complete(s);
-    return r;
+    return routed(ctx, m,
+                  [&](std::size_t s) { return perform_at(s, ctx, m); });
   }
 
   // See invoke_at: the explicit-shard variant for chain-shaped
@@ -293,19 +293,18 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
                       std::optional<SwitchValue> v) { o.submit(c, r, v); }
   auto submit(Ctx& ctx, const Request& m,
               std::optional<SwitchValue> init = std::nullopt) {
-    const std::size_t s = route(ctx, m);
-    auto t = shard(s).submit(ctx, m, init);
-    complete(s);
-    return t;
+    return routed(ctx, m,
+                  [&](std::size_t s) { return shard(s).submit(ctx, m, init); });
   }
 
   // Synchronous replicas (pipelines, chains-as-modules) complete
   // inline: submit() is invoke() plus a ready ticket, keeping the
   // submit/complete surface uniform across every Sharded instance.
   template <class Ctx>
-    requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx> &&
+    requires Composable<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx> &&
              (!requires(Obj& o, Ctx& c, const Request& r,
-                        std::optional<SwitchValue> v) { o.submit(c, r, v); })
+                        std::optional<SwitchValue> v) { o.submit(c, r, v); }) &&
+             (!requires(Obj& o, Ctx& c, const Request& r) { o.submit(c, r); })
   Ticket<ModuleResult> submit(Ctx& ctx, const Request& m,
                               std::optional<SwitchValue> init = std::nullopt) {
     return Ticket<ModuleResult>::ready(invoke(ctx, m, init));
@@ -322,10 +321,9 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
               CompletionFn completion, void* user = nullptr)
     requires requires(Obj& o) { o.submit(ctx, m, init, completion, user); }
   {
-    const std::size_t s = route(ctx, m);
-    auto t = shard(s).submit(ctx, m, init, completion, user);
-    complete(s);
-    return t;
+    return routed(ctx, m, [&](std::size_t s) {
+      return shard(s).submit(ctx, m, init, completion, user);
+    });
   }
 
   // Fire-and-forget forwarding (enabled when the replica has it): the
@@ -340,9 +338,9 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
       o.submit_detached(ctx, m, init, completion, user);
     }
   {
-    const std::size_t s = route(ctx, m);
-    shard(s).submit_detached(ctx, m, init, completion, user);
-    complete(s);
+    routed(ctx, m, [&](std::size_t s) {
+      shard(s).submit_detached(ctx, m, init, completion, user);
+    });
   }
 
   // Chain-shaped counterpart (StaticAbstractChain::submit takes no
@@ -356,10 +354,8 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
                o.submit(ctx, m, v);
              })
   {
-    const std::size_t s = route(ctx, m);
-    auto t = shard(s).submit(ctx, m);
-    complete(s);
-    return t;
+    return routed(ctx, m,
+                  [&](std::size_t s) { return shard(s).submit(ctx, m); });
   }
 
   // Drains every shard's pending publications (enabled exactly when
@@ -384,7 +380,7 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
   // are disjoint objects, so for a single executing thread the results
   // equal per-op invocation. Grouping allocates O(batch) scratch.
   template <class Ctx>
-    requires ComposableModule<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
+    requires Composable<Obj, Ctx> && ShardRoutingPolicy<Policy, Ctx>
   void invoke_batch(Ctx& ctx, std::span<OpSlot> batch) {
     if (batch.empty()) return;
     std::vector<OpSlot> scratch;
@@ -514,6 +510,24 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
   }
 
  private:
+  // The one copy of the per-op round trip — route, run on the chosen
+  // shard, fire the policy's completion hook — that every forwarding
+  // surface (invoke, perform, the submit family, submit_detached)
+  // used to spell out as its own triplet. fn receives the routed
+  // shard index and does the shape-specific work.
+  template <class Ctx, class Fn>
+  decltype(auto) routed(Ctx& ctx, const Request& m, Fn&& fn) {
+    const std::size_t s = route(ctx, m);
+    if constexpr (std::is_void_v<decltype(fn(s))>) {
+      fn(s);
+      complete(s);
+    } else {
+      auto r = fn(s);
+      complete(s);
+      return r;
+    }
+  }
+
   // The one copy of the batch-grouping contract both batch surfaces
   // walk through: every pending item is routed exactly once, in item
   // order (a stateful policy advances exactly as the per-op loop

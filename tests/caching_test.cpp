@@ -1,0 +1,380 @@
+// Tests for the read-mostly replication layer (core/caching.hpp) and
+// the unified Composable surface (core/module.hpp):
+//
+//  * Composable concept + scm::apply(): module-shaped and chain-shaped
+//    objects both dispatch through the one entry point;
+//  * ReadOnlyOps classification;
+//  * a solo caller's cached results are bit-identical to the bare
+//    object's, hit path included;
+//  * the staleness bound: 0 is linearizable (a post-write read misses
+//    and refetches), k admits snapshots up to k generations old;
+//  * ticket-consuming invalidation: submit()'s completion callbacks
+//    refill/invalidate by the time the ticket is collected;
+//  * concurrent mixed read/fetch_inc histories through the cache
+//    linearize against CounterSpec in linearizable mode (bound 0);
+//  * invalidation storms: every write bumps the generation exactly
+//    once under contention, per-thread read streams stay monotone, and
+//    no read ever returns a value the counter never held.
+//
+// Runs under the "tsan" ctest label: the CI sanitizer job executes
+// this suite under ThreadSanitizer (the seqlock snapshot protocol is
+// the label's customer here).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/caching.hpp"
+#include "core/combining.hpp"
+#include "core/module.hpp"
+#include "core/pipeline.hpp"
+#include "history/specs.hpp"
+#include "lincheck/lincheck.hpp"
+#include "runtime/context.hpp"
+#include "runtime/platform.hpp"
+#include "workload/driver.hpp"
+
+namespace scm {
+namespace {
+
+// A shared counter with CounterSpec's interface: op kFetchInc commits
+// the OLD value, op kRead commits the current value.
+struct CounterModule {
+  static constexpr int kConsensusNumber = kConsensusNumberFetchAdd;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& m,
+                      std::optional<SwitchValue> /*init*/ = std::nullopt) {
+    if (m.op == CounterSpec::kRead) {
+      return ModuleResult::commit(static_cast<Response>(count_.read(ctx)));
+    }
+    return ModuleResult::commit(static_cast<Response>(count_.fetch_add(ctx)));
+  }
+
+  [[nodiscard]] std::uint64_t peek() const noexcept { return count_.peek(); }
+
+ private:
+  NativeCounter count_;
+};
+
+// The cache's view of CounterSpec: kRead is read-only, there is one
+// key, and a committed fetch_inc's response (the old value) determines
+// the post-write value exactly: old + 1.
+struct CounterModel {
+  static bool is_read(const Request& m) { return m.op == CounterSpec::kRead; }
+  static std::uint64_t key(const Request& /*m*/) { return 0; }
+  static std::optional<Response> read_after_write(const Request& /*m*/,
+                                                  Response r) {
+    return r + 1;
+  }
+};
+
+// Same classification, but the write's effect is declared underivable:
+// the cache must invalidate without refilling — the shape the
+// staleness-bound tests need (a stale entry stays stale).
+struct NoRefillModel {
+  static bool is_read(const Request& m) { return m.op == CounterSpec::kRead; }
+  static std::uint64_t key(const Request& /*m*/) { return 0; }
+  static std::optional<Response> read_after_write(const Request& /*m*/,
+                                                  Response /*r*/) {
+    return std::nullopt;
+  }
+};
+
+Request read_req(std::uint64_t id, ProcessId p) {
+  return Request{id, p, CounterSpec::kRead, 0};
+}
+Request inc_req(std::uint64_t id, ProcessId p) {
+  return Request{id, p, CounterSpec::kFetchInc, 0};
+}
+
+using CachedCounter = Cached<Combining<CounterModule, 8, ByThread>,
+                             CounterModel>;
+
+// ---------------------------------------------------------------------------
+// The unified Composable surface
+
+struct ChainStub {
+  struct Performed {
+    Response response = 0;
+  };
+
+  template <class Ctx>
+  Performed perform(Ctx& /*ctx*/, const Request& m) {
+    return {m.arg * 2};
+  }
+};
+
+static_assert(ModuleShaped<CounterModule, NativeContext>);
+static_assert(!ChainShaped<CounterModule, NativeContext>);
+static_assert(ChainShaped<ChainStub, NativeContext>);
+static_assert(!ModuleShaped<ChainStub, NativeContext>);
+static_assert(Composable<CounterModule, NativeContext>);
+static_assert(Composable<ChainStub, NativeContext>);
+static_assert(Composable<Combining<CounterModule, 8, ByThread>,
+                         NativeContext>);
+static_assert(Composable<CachedCounter, NativeContext>);
+
+TEST(ComposableSurface, ApplyDispatchesModuleShaped) {
+  CounterModule counter;
+  NativeContext ctx(0);
+  EXPECT_EQ(scm::apply(counter, ctx, inc_req(1, 0)).response, 0);
+  EXPECT_EQ(scm::apply(counter, ctx, read_req(2, 0)).response, 1);
+}
+
+TEST(ComposableSurface, ApplyDispatchesChainShaped) {
+  ChainStub chain;
+  NativeContext ctx(0);
+  const ModuleResult r =
+      scm::apply(chain, ctx, Request{1, 0, 0, 21});
+  EXPECT_TRUE(r.committed());
+  EXPECT_EQ(r.response, 42);
+}
+
+TEST(ComposableSurface, ReadOnlyOpsClassifies) {
+  using Reads = ReadOnlyOps<CounterSpec::kRead>;
+  static_assert(ReadOnlyClassifier<Reads>);
+  EXPECT_TRUE(Reads::is_read_only(CounterSpec::kRead));
+  EXPECT_FALSE(Reads::is_read_only(CounterSpec::kFetchInc));
+  EXPECT_TRUE(Reads::is_read_only(read_req(1, 0)));
+  EXPECT_FALSE(Reads::is_read_only(inc_req(1, 0)));
+
+  using Multi = ReadOnlyOps<3, 5>;
+  EXPECT_TRUE(Multi::is_read_only(3));
+  EXPECT_TRUE(Multi::is_read_only(5));
+  EXPECT_FALSE(Multi::is_read_only(4));
+}
+
+// ---------------------------------------------------------------------------
+// Solo equivalence: cached == bare, bit for bit, hit path included
+
+TEST(Cached, SoloResultsMatchBareObjectIncludingHits) {
+  CachedCounter cached;
+  CounterModule bare;
+  NativeContext ctx(0);
+
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    // 3 reads per inc: the rereads are served from the table.
+    const bool is_read = i % 4 != 0;
+    const Request m = is_read ? read_req(i + 1, 0) : inc_req(i + 1, 0);
+    const ModuleResult want = bare.invoke(ctx, m);
+    const ModuleResult got = cached.invoke(ctx, m);
+    ASSERT_EQ(got.outcome, want.outcome) << "op " << i;
+    ASSERT_EQ(got.response, want.response) << "op " << i;
+  }
+  // The equivalence must have exercised the hit path to mean anything.
+  EXPECT_GT(cached.hits(), 0u);
+  // Every fetch_inc bumped the generation exactly once.
+  EXPECT_EQ(cached.invalidations(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Staleness bound semantics
+
+TEST(Cached, BoundZeroIsLinearizableBoundKServesStale) {
+  Cached<Combining<CounterModule, 8, ByThread>, NoRefillModel> cached;
+  NativeContext ctx(0);
+
+  // Fill: the first read misses and installs 0 at generation 0.
+  EXPECT_EQ(cached.invoke(ctx, read_req(1, 0)).response, 0);
+  EXPECT_EQ(cached.fills(), 1u);
+  // A write invalidates without refilling (NoRefillModel).
+  EXPECT_EQ(cached.invoke(ctx, inc_req(2, 0)).response, 0);
+  EXPECT_EQ(cached.invalidations(), 1u);
+
+  // Bound 1: the entry is one generation stale — admissible, and the
+  // cache serves the STALE value (the real counter is already 1).
+  cached.set_staleness_bound(1);
+  EXPECT_EQ(cached.invoke(ctx, read_req(3, 0)).response, 0);
+  EXPECT_EQ(cached.object().object().peek(), 1u);
+
+  // Bound 0 (linearizable): the same entry now misses; the read goes
+  // through the object and returns the current value.
+  cached.set_staleness_bound(0);
+  EXPECT_EQ(cached.invoke(ctx, read_req(4, 0)).response, 1);
+  // ... and the miss refilled at the current generation, so the next
+  // read hits fresh.
+  const std::uint64_t hits_before = cached.hits();
+  EXPECT_EQ(cached.invoke(ctx, read_req(5, 0)).response, 1);
+  EXPECT_EQ(cached.hits(), hits_before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Ticket-consuming invalidation (the async surface)
+
+TEST(Cached, TicketCompletionRefillsAndInvalidates) {
+  CachedCounter cached;
+  NativeContext ctx(0);
+
+  // A miss's fill arrives through the ticket: by the time wait()
+  // returns, the callback has installed the entry.
+  auto t0 = cached.submit(ctx, read_req(1, 0));
+  EXPECT_EQ(t0.wait().response, 0);
+  EXPECT_EQ(cached.fills(), 1u);
+  ASSERT_TRUE(cached.read_at(0, 0).has_value());
+  EXPECT_EQ(*cached.read_at(0, 0), 0);
+
+  // A write's completion bumps the generation and refills with the
+  // model-derived post-write value (old + 1).
+  auto t1 = cached.submit(ctx, inc_req(2, 0));
+  EXPECT_EQ(t1.wait().response, 0);
+  EXPECT_EQ(cached.invalidations(), 1u);
+  ASSERT_TRUE(cached.read_at(0, 0).has_value());
+  EXPECT_EQ(*cached.read_at(0, 0), 1);
+
+  // The refill makes the next read a hit — and a ready ticket (a hit
+  // costs no shared write; there is nothing to wait for).
+  const std::uint64_t hits_before = cached.hits();
+  auto t2 = cached.submit(ctx, read_req(3, 0));
+  EXPECT_TRUE(t2.poll());
+  EXPECT_EQ(t2.wait().response, 1);
+  EXPECT_EQ(cached.hits(), hits_before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent histories linearize at bound 0
+
+TEST(Cached, ConcurrentMixedHistoriesLinearizeAgainstCounterSpec) {
+  // 3 threads x 5 ops, reads and fetch_incs interleaved, timestamps
+  // from a global atomic clock. At staleness bound 0 every response —
+  // cache hits included — must admit a linearization against
+  // CounterSpec. Trace sizes stay small: the checker is exponential
+  // in overlap.
+  constexpr int kThreads = 3;
+  constexpr std::uint64_t kOps = 5;
+
+  for (int round = 0; round < 10; ++round) {
+    Replicated<Combining<CounterModule, 8, ByThread>, 2, CounterModel>
+        cached;
+    std::atomic<std::uint64_t> clock{0};
+    struct Recorded {
+      Response response = 0;
+      std::uint64_t invoke = 0;
+      std::uint64_t ret = 0;
+      std::int64_t op = 0;
+    };
+    std::array<std::array<Recorded, kOps>, kThreads> rec{};
+
+    (void)workload::run_threads(
+        kThreads, kOps, [&](NativeContext& ctx, std::uint64_t i) {
+          const auto tid = static_cast<std::size_t>(ctx.id());
+          // Threads 1+ read mostly; thread 0 writes mostly — mixed
+          // enough that hits, misses, and invalidations all occur.
+          const bool is_read = tid == 0 ? (i % 2 == 1) : (i % 4 != 3);
+          const Request m =
+              is_read ? read_req((static_cast<std::uint64_t>(tid) << 40) |
+                                     (i + 1),
+                                 ctx.id())
+                      : inc_req((static_cast<std::uint64_t>(tid) << 40) |
+                                    (i + 1),
+                                ctx.id());
+          Recorded& r = rec[tid][i];
+          r.op = m.op;
+          r.invoke = clock.fetch_add(1, std::memory_order_acq_rel);
+          r.response = cached.invoke(ctx, m).response;
+          r.ret = clock.fetch_add(1, std::memory_order_acq_rel);
+        });
+
+    std::vector<ConcurrentOp> ops;
+    for (int t = 0; t < kThreads; ++t) {
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        const auto& r =
+            rec[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)];
+        ConcurrentOp op;
+        op.pid = static_cast<ProcessId>(t);
+        op.request = Request{(static_cast<std::uint64_t>(t) << 40) | (i + 1),
+                             static_cast<ProcessId>(t), r.op, 0};
+        op.response = r.response;
+        op.invoke = r.invoke;
+        op.ret = r.ret;
+        op.completed = true;
+        ops.push_back(op);
+      }
+    }
+    ASSERT_TRUE(linearizable<CounterSpec>(std::move(ops)))
+        << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation storm
+
+TEST(Replicated, InvalidationStormKeepsGenerationExactAndReadsMonotone) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kOps = 512;
+
+  Replicated<Combining<CounterModule, 8, ByThread>, 2, CounterModel> cached;
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> monotonicity_violations{0};
+  std::atomic<std::uint64_t> overshoots{0};
+
+  (void)workload::run_threads(
+      kThreads, kOps, [&](NativeContext& ctx, std::uint64_t i) {
+        static thread_local Response last_read = -1;
+        if (i == 0) last_read = -1;  // fresh per run
+        const std::uint64_t id =
+            (static_cast<std::uint64_t>(ctx.id()) << 40) | (i + 1);
+        if (i % 2 == 0) {
+          (void)cached.invoke(ctx, inc_req(id, ctx.id()));
+          writes.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          const Response r =
+              cached.invoke(ctx, read_req(id, ctx.id())).response;
+          // The counter never decreases: each thread's read stream
+          // must be monotone even when served from replicas.
+          if (r < last_read) {
+            monotonicity_violations.fetch_add(1, std::memory_order_relaxed);
+          }
+          // A read can never exceed the number of writes ever issued.
+          if (r > static_cast<Response>(kThreads * kOps)) {
+            overshoots.fetch_add(1, std::memory_order_relaxed);
+          }
+          last_read = r;
+        }
+      });
+
+  EXPECT_EQ(monotonicity_violations.load(), 0u);
+  EXPECT_EQ(overshoots.load(), 0u);
+  // Every write bumped the generation exactly once, even under storm.
+  EXPECT_EQ(cached.invalidations(), writes.load());
+  EXPECT_EQ(cached.object().object().peek(), writes.load());
+  // A post-quiescence read agrees with the ground truth.
+  NativeContext ctx(0);
+  EXPECT_EQ(cached.invoke(ctx, read_req(1u << 20, 0)).response,
+            static_cast<Response>(writes.load()));
+}
+
+// ---------------------------------------------------------------------------
+// Replica isolation
+
+TEST(Replicated, WritesInvalidateEveryReplica) {
+  Replicated<Combining<CounterModule, 8, ByThread>, 4, CounterModel> cached;
+
+  // Fill each replica's entry from a differently-bound context.
+  for (ProcessId p = 0; p < 4; ++p) {
+    NativeContext ctx(p);
+    (void)cached.invoke(ctx, read_req(static_cast<std::uint64_t>(p) + 1, p));
+  }
+  for (std::size_t rep = 0; rep < 4; ++rep) {
+    ASSERT_TRUE(cached.read_at(rep, 0).has_value()) << "replica " << rep;
+    EXPECT_EQ(*cached.read_at(rep, 0), 0);
+  }
+
+  // One write: every replica's entry must stop serving the old value —
+  // either invisible (stale generation) or refilled to the new one.
+  NativeContext writer(1);
+  EXPECT_EQ(cached.invoke(writer, inc_req(100, 1)).response, 0);
+  for (std::size_t rep = 0; rep < 4; ++rep) {
+    const auto v = cached.read_at(rep, 0);
+    if (v.has_value()) EXPECT_EQ(*v, 1) << "replica " << rep;
+  }
+  // The writer's own replica was refilled by the completion callback.
+  ASSERT_TRUE(cached.read_at(1, 0).has_value());
+  EXPECT_EQ(*cached.read_at(1, 0), 1);
+}
+
+}  // namespace
+}  // namespace scm

@@ -674,5 +674,39 @@ TEST(KeyedStreams, ZipfianIsDeterministicAndHandlesOneKey) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(one(r), 0u);
 }
 
+TEST(KeyedStreams, ZetaIsMemoizedAcrossIdenticalConstructions) {
+  // Sweeps construct one generator per (threads x reps) cell with the
+  // SAME (keys, theta); only the first construction may pay the O(keys)
+  // harmonic sum. A distinctive parameter pair keeps this test
+  // independent of whichever generators ran before it in the process.
+  constexpr std::uint64_t kKeys = 977;  // prime, used nowhere else
+  constexpr double kTheta = 0.123456789;
+
+  const std::uint64_t before = workload::ZipfianKeys::zeta_computations();
+  const workload::ZipfianKeys first(kKeys, kTheta);
+  const std::uint64_t after_first = workload::ZipfianKeys::zeta_computations();
+  // The first construction computes zeta(keys, theta) and zeta(2,
+  // theta) — at most two evaluations, at least one.
+  EXPECT_GE(after_first, before + 1);
+  EXPECT_LE(after_first, before + 2);
+
+  // Every later identical construction is a pure cache lookup.
+  for (int i = 0; i < 16; ++i) {
+    const workload::ZipfianKeys again(kKeys, kTheta);
+    (void)again;
+  }
+  EXPECT_EQ(workload::ZipfianKeys::zeta_computations(), after_first);
+
+  // The memo is keyed on the exact pair: a different theta computes.
+  const workload::ZipfianKeys other(kKeys, 0.5);
+  (void)other;
+  EXPECT_GT(workload::ZipfianKeys::zeta_computations(), after_first);
+
+  // Memoized and fresh generators draw identical streams.
+  const workload::ZipfianKeys memoized(kKeys, kTheta);
+  Rng ra(7), rb(7);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(first(ra), memoized(rb));
+}
+
 }  // namespace
 }  // namespace scm
