@@ -20,6 +20,7 @@
 #include "bench/compare.hpp"
 #include "bench/registry.hpp"
 #include "bench/runner.hpp"
+#include "bench/shm_role.hpp"
 #include "support/table.hpp"
 #include "workload/driver.hpp"
 
@@ -44,6 +45,14 @@ void print_usage() {
       "  --seed=N           base RNG seed                     (default 42)\n"
       "  --pin              pin scm-worker-N threads to cores (native\n"
       "                     scenarios; recorded in the JSON report)\n"
+      "  --shm-role=ROLE    cross-process composition (compose.shm):\n"
+      "                     server = run only compose.shm (it forks the\n"
+      "                     clients itself); client = internal worker role\n"
+      "                     (needs --shm-name and --shm-id)\n"
+      "  --shm-procs=N      compose.shm worker-process count  (default 2)\n"
+      "  --shm-bytes=N      compose.shm segment size in bytes (default 1MiB)\n"
+      "  --shm-name=SEG     [client role] segment to attach\n"
+      "  --shm-id=K         [client role] this worker's index\n"
       "  --json=FILE        write the scm-bench/v1 report to FILE\n"
       "  --compare OLD NEW  regression gate: compare two scm-bench/v1\n"
       "                     reports by scenario median ns_per_op and exit\n"
@@ -64,11 +73,16 @@ bool parse_flag(const std::string& arg, const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
+  set_self_exe(argv[0]);  // the compose.shm server re-execs this binary
+
   BenchParams params;
   std::string filter;
   std::string json_path;
   std::string compare_old;
   std::string compare_new;
+  std::string shm_role;
+  std::string shm_name;
+  int shm_id = -1;
   double compare_threshold = 0.25;
   bool list_only = false;
 
@@ -109,6 +123,16 @@ int main(int argc, char** argv) {
       params.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (arg == "--pin") {
       params.pin = true;
+    } else if (parse_flag(arg, "--shm-role", &value)) {
+      shm_role = value;
+    } else if (parse_flag(arg, "--shm-name", &value)) {
+      shm_name = value;
+    } else if (parse_flag(arg, "--shm-id", &value)) {
+      shm_id = std::atoi(value.c_str());
+    } else if (parse_flag(arg, "--shm-procs", &value)) {
+      params.shm_procs = std::atoi(value.c_str());
+    } else if (parse_flag(arg, "--shm-bytes", &value)) {
+      params.shm_segment_bytes = std::strtoull(value.c_str(), nullptr, 10);
     } else if (parse_flag(arg, "--json", &value)) {
       json_path = value;
     } else {
@@ -117,6 +141,27 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // Role dispatch for cross-process composition. The client role is
+  // the worker half of compose.shm — the scenario's server forks and
+  // re-execs this binary with these flags, so this path must stay
+  // banner-free and exit with the worker's status code. The server
+  // role is a convenience spelling of --filter=compose.shm.
+  if (shm_role == "client") {
+    if (shm_name.empty() || shm_id < 0) {
+      std::fprintf(stderr,
+                   "--shm-role=client needs --shm-name=SEG and --shm-id=K\n");
+      return 2;
+    }
+    return run_shm_client(shm_name, shm_id, params.ops);
+  }
+  if (shm_role == "server") {
+    filter = "compose.shm";
+  } else if (!shm_role.empty()) {
+    std::fprintf(stderr, "unknown --shm-role=%s (want server | client)\n",
+                 shm_role.c_str());
+    return 2;
+  }
+
   // Compare mode runs no scenarios: parse, diff, exit.
   if (!compare_old.empty()) {
     return run_compare(compare_old, compare_new, compare_threshold,
@@ -128,6 +173,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "invalid parameters: need threads>0, reps>0, warmup>=0, "
                  "ops>0\n");
+    return 2;
+  }
+  if (params.shm_procs <= 0 || params.shm_segment_bytes < (1u << 16)) {
+    std::fprintf(stderr,
+                 "invalid parameters: need shm-procs>0 and shm-bytes>=64KiB\n");
     return 2;
   }
   if (!SchedulePolicy::try_parse(params.schedule, params.seed).has_value()) {

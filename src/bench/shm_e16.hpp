@@ -1,0 +1,51 @@
+// Shared vocabulary of the compose.shm (E16) scenario: the server
+// (bench/bench_compose_shm.cpp) and the client role
+// (src/bench/shm_role.cpp) run in SEPARATE PROCESSES of the same
+// binary and meet only through the arena's discovery table, so the
+// object types, published names, and type tags they must agree on
+// live here — one header, no drift.
+#pragma once
+
+#include "shm/shm_arena.hpp"  // defines SCM_HAS_POSIX_SHM
+
+#if SCM_HAS_POSIX_SHM
+
+#include <atomic>
+#include <cstdint>
+
+#include "shm/shm_barrier.hpp"
+#include "shm/shm_combining.hpp"
+#include "shm/shm_counter.hpp"
+#include "support/cacheline.hpp"
+
+namespace scm::bench {
+
+// Compiled-in slot count of the shared combiner (recorded in the JSON
+// params as shm_slot_count).
+inline constexpr std::size_t kShmSlots = 16;
+
+using E16Combining = ShmCombining<ShmCounter, kShmSlots>;
+
+// Per-client accounting cell, one cache line each. `started` is
+// advanced BEFORE the op is published and `completed` after its result
+// is collected, so for a client killed at an arbitrary instruction
+// started - completed <= 1 and the reconciliation bound
+//   sum(completed) <= counter <= sum(started)
+// is exact.
+struct alignas(kCacheLineSize) E16ClientCell {
+  std::atomic<std::uint64_t> started{0};
+  std::atomic<std::uint64_t> completed{0};
+};
+
+inline constexpr const char* kE16CombiningName = "e16.combining";
+inline constexpr const char* kE16CellsName = "e16.cells";
+inline constexpr const char* kE16BarrierName = "e16.barrier";
+
+// Discovery-table type tags for the plain objects (the combiner uses
+// its own layout-derived E16Combining::kTypeTag).
+inline constexpr std::uint32_t kE16CellsTag = 0x45313663;    // "E16c"
+inline constexpr std::uint32_t kE16BarrierTag = 0x45313662;  // "E16b"
+
+}  // namespace scm::bench
+
+#endif  // SCM_HAS_POSIX_SHM

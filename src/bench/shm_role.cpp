@@ -1,0 +1,99 @@
+#include "bench/shm_role.hpp"
+
+#include "shm/shm_arena.hpp"  // defines SCM_HAS_POSIX_SHM
+
+#if SCM_HAS_POSIX_SHM
+#include <unistd.h>
+#endif
+
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "bench/shm_e16.hpp"
+#include "history/specs.hpp"
+#include "runtime/context.hpp"
+
+namespace scm::bench {
+
+namespace {
+std::string g_self_exe;  // argv[0], stashed before any fork
+}  // namespace
+
+void set_self_exe(const char* argv0) {
+  g_self_exe = argv0 == nullptr ? "" : argv0;
+}
+
+std::string self_exe() {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+#endif
+  return g_self_exe;
+}
+
+#if SCM_HAS_POSIX_SHM
+
+int run_shm_client(const std::string& segment, int client_id,
+                   std::uint64_t ops) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::seconds(10);
+
+  // Attach with retry: the server creates/publishes before forking,
+  // but a client must also survive being started early (or the server
+  // being descheduled mid-setup). The magic check inside attach()
+  // rejects half-initialized segments, so retrying is safe.
+  std::optional<ShmArena> arena;
+  while (!(arena = ShmArena::attach(segment)).has_value()) {
+    if (clock::now() > deadline) return 4;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto combining = arena->resolve(kE16CombiningName);
+  const auto cells = arena->resolve(kE16CellsName);
+  const auto barrier = arena->resolve(kE16BarrierName);
+  if (!combining || !cells || !barrier) return 5;
+  // Fail fast before the first shared access: a tag mismatch means the
+  // server was built from a different ShmCombining instantiation (or a
+  // different slot-protocol revision) and the layouts cannot be mixed.
+  if (combining->type_tag != E16Combining::kTypeTag ||
+      cells->type_tag != kE16CellsTag || barrier->type_tag != kE16BarrierTag ||
+      cells->size <
+          (static_cast<std::uint64_t>(client_id) + 1) * sizeof(E16ClientCell)) {
+    return 5;
+  }
+
+  E16Combining& comb = *arena->at<E16Combining>(combining->offset);
+  E16ClientCell& cell =
+      arena->at<E16ClientCell>(cells->offset)[client_id];
+  ShmSpinBarrier& start = *arena->at<ShmSpinBarrier>(barrier->offset);
+
+  NativeContext ctx(client_id);
+  start.arrive_and_wait();
+
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    // started before publish / completed after collect: a SIGKILL at
+    // any point leaves at most one op between the two counts.
+    cell.started.store(i + 1, std::memory_order_release);
+    const Request r{(static_cast<std::uint64_t>(client_id) << 40) | (i + 1),
+                    static_cast<ProcessId>(client_id),
+                    CounterSpec::kFetchInc, 0};
+    // Publication only (may_combine = false): this process can die
+    // holding a slot but never the gate mid-batch, which is what makes
+    // the server's crash reconciliation exact.
+    const ModuleResult res =
+        comb.invoke(ctx, r, std::nullopt, /*may_combine=*/false);
+    if (!res.committed()) return 3;
+    cell.completed.store(i + 1, std::memory_order_release);
+  }
+  return 0;
+}
+
+#else  // !SCM_HAS_POSIX_SHM
+
+int run_shm_client(const std::string&, int, std::uint64_t) { return 6; }
+
+#endif
+
+}  // namespace scm::bench

@@ -1,0 +1,35 @@
+// The --shm-role plumbing of scm_bench.
+//
+// compose.shm (E16) is a MULTI-PROCESS scenario: the scenario body
+// acts as the server (creates the segment, forks/execs this same
+// binary N times, serves and reconciles), and each re-execed copy runs
+// run_shm_client() instead of the scenario loop. main.cpp dispatches
+// on --shm-role and stashes argv[0] here so the server can re-exec
+// itself even where /proc/self/exe is unavailable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scm::bench {
+
+// Called once from main() before anything forks.
+void set_self_exe(const char* argv0);
+
+// Best available path to the running binary: /proc/self/exe when it
+// resolves (Linux), the stashed argv[0] otherwise.
+std::string self_exe();
+
+// The client role (--shm-role=client --shm-name=SEG --shm-id=K
+// --ops=N): attach to SEG (with retry — the client may win the race
+// against the server's publish), resolve the E16 objects by name,
+// check type tags, park at the start barrier, then submit `ops`
+// fetch&increment ops into the shared combiner with
+// may_combine = false, advancing this client's accounting cell around
+// every op. Returns a process exit code: 0 success, 3 an op failed to
+// commit, 4 attach timed out, 5 resolve/type-tag mismatch, 6 shm
+// unsupported on this platform.
+int run_shm_client(const std::string& segment, int client_id,
+                   std::uint64_t ops);
+
+}  // namespace scm::bench

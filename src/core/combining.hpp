@@ -68,9 +68,11 @@
 #include "core/batch.hpp"
 #include "core/module.hpp"
 #include "core/sharding.hpp"
+#include "core/slot_protocol.hpp"
 #include "history/request.hpp"
 #include "runtime/ids.hpp"
 #include "support/assert.hpp"
+#include "support/backoff.hpp"
 #include "support/cacheline.hpp"
 
 namespace scm {
@@ -90,43 +92,10 @@ struct CombiningConsensusBase<Obj,
       std::max(Obj::kConsensusNumber, kConsensusNumberTas);
 };
 
-// One core-local pause: tells the pipeline (and an SMT sibling) that
-// this is a spin-wait, without giving up the timeslice.
-inline void cpu_pause() noexcept {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#elif defined(__aarch64__)
-  asm volatile("yield" ::: "memory");
-#else
-  // No spin hint on this target; the caller's re-read is the wait.
-#endif
-}
-
-// Spin-wait pacing: an exponential spin → pause → yield ladder. The
-// first few iterations re-read bare (the watched line is cache-local
-// until the writer invalidates it, so the common short wait costs
-// nothing extra); medium waits insert a doubling number of pause
-// hints, keeping the core polite without a syscall; long waits yield
-// the timeslice every iteration, which is what makes oversubscribed
-// runs (threads > cores, the CI regime) complete promptly — a fixed
-// spin count would burn whole quanta that the thread being waited on
-// needs. There is no wakeup to lose: every rung returns to the
-// caller's re-read of the watched variable.
-inline void combining_backoff(int& spins) noexcept {
-  constexpr int kSpinRungs = 8;    // bare re-reads
-  constexpr int kPauseRungs = 8;   // 1, 2, 4, ... 128 pauses
-  if (spins < kSpinRungs) {
-    ++spins;
-    return;
-  }
-  if (spins < kSpinRungs + kPauseRungs) {
-    const int reps = 1 << (spins - kSpinRungs);
-    for (int i = 0; i < reps; ++i) cpu_pause();
-    ++spins;
-    return;
-  }
-  std::this_thread::yield();  // saturated: hand over the timeslice
-}
+// The spin-wait ladder lives in support/backoff.hpp now (the shm gate
+// shares it); this name survives as an alias for its historical
+// call sites.
+inline void combining_backoff(int& spins) noexcept { spin_backoff(spins); }
 
 }  // namespace detail
 
@@ -137,6 +106,11 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
 
  public:
   static constexpr std::size_t kSlotCount = kSlots;
+
+  // The publication protocol (core/slot_protocol.hpp), exposed so
+  // tests can assert this wrapper and the cross-process ShmCombining
+  // compile against the SAME state machine.
+  using slot_state = SlotState;
 
   Combining()
     requires std::is_default_constructible_v<Obj>
@@ -374,18 +348,17 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
   }
 
  private:
-  // Publication slot lifecycle: kFree -> kClaimed (publisher owns the
-  // record) -> kPending (request visible to combiners) -> kDone
-  // (result visible to the publisher) -> kFree. kClaimed exists so a
-  // colliding publisher can never observe a half-written request: the
-  // combiner only reads slots it sees as kPending.
-  static constexpr std::uint32_t kFree = 0;
-  static constexpr std::uint32_t kClaimed = 1;
-  static constexpr std::uint32_t kPending = 2;
-  static constexpr std::uint32_t kDone = 3;
+  // Publication slot lifecycle (shared with the cross-process
+  // ShmCombining via core/slot_protocol.hpp): kFree -> kClaimed
+  // (publisher owns the record) -> kPending (request visible to
+  // combiners) -> kDone (result visible to the publisher) -> kFree.
+  static constexpr SlotState kFree = SlotState::kFree;
+  static constexpr SlotState kClaimed = SlotState::kClaimed;
+  static constexpr SlotState kPending = SlotState::kPending;
+  static constexpr SlotState kDone = SlotState::kDone;
 
   struct Slot {
-    std::atomic<std::uint32_t> status{kFree};
+    std::atomic<SlotState> status{kFree};
     Request request;
     std::optional<SwitchValue> init;
     ModuleResult result;
@@ -469,7 +442,7 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
       const std::size_t idx =
           hint + k < kSlots ? hint + k : hint + k - kSlots;
       Slot& slot = slots_[idx].value;
-      std::uint32_t expected = kFree;
+      SlotState expected = kFree;
       if (slot.status.load(std::memory_order_relaxed) == kFree &&
           slot.status.compare_exchange_strong(expected, kClaimed,
                                               std::memory_order_acquire,
@@ -535,7 +508,7 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     for (;;) {
       if constexpr (requires(Policy& p) { p.on_complete(hint); }) {
         Slot& slot = slots_[hint].value;
-        std::uint32_t expected = kFree;
+        SlotState expected = kFree;
         if (slot.status.load(std::memory_order_relaxed) == kFree &&
             slot.status.compare_exchange_strong(expected, kClaimed,
                                                 std::memory_order_acquire,

@@ -1,0 +1,94 @@
+// The publication-slot state machine shared by every combining path.
+//
+// Two executors speak this protocol today: the in-process
+// flat-combining wrapper (core/combining.hpp), whose slots live at
+// virtual addresses inside one process, and the cross-process
+// ShmCombining (shm/shm_combining.hpp), whose slots live at offsets
+// inside a shared-memory segment. The states and transitions are
+// defined ONCE here so the two cannot drift — shm_test static_asserts
+// that both compile against this same enum.
+//
+// Lifecycle of one publication record:
+//
+//   kFree ──CAS──▶ kClaimed ──release──▶ kPending ──release──▶ kDone
+//     ▲   (publisher owns     (request visible      (result visible
+//     │    the record)         to combiners)         to the publisher)
+//     └──────────────────────── release ◀────────────────────────┘
+//                       (publisher collects, record recycles)
+//
+// kClaimed exists so a colliding publisher can never observe a
+// half-written request: a combiner only reads slots it sees as
+// kPending, and the kPending store releases the plain request/init
+// writes before it. The same fence discipline makes the protocol
+// correct across processes — std::atomic on a lock-free 32/64-bit word
+// is address-free, so acquire/release pairs work between mappings of
+// the same physical page at different virtual addresses.
+//
+// Detached completion (OpCompletion below) rides alongside: kAttached
+// slots are handed back to a waiting publisher in kDone; kDetached
+// slots have no collector, so the executor retires them straight back
+// to kFree after running the completion callback.
+#pragma once
+
+#include <cstdint>
+
+namespace scm {
+
+// Protocol revision: bumped whenever a state is added/renumbered or a
+// transition changes meaning. Cross-process consumers fold it into
+// their segment type tags so two binaries speaking different protocol
+// revisions fail fast at attach time instead of corrupting slots.
+inline constexpr std::uint32_t kSlotProtocolVersion = 1;
+
+enum class SlotState : std::uint32_t {
+  kFree = 0,     // recyclable; the only state a claim CAS fires from
+  kClaimed = 1,  // a publisher owns the record and is writing into it
+  kPending = 2,  // request visible; exactly one combiner will serve it
+  kDone = 3,     // result visible; the publisher collects and recycles
+};
+
+// Completion state of a batch slot, set by whoever assembled the
+// batch and consumed by whoever retires it (the combiner's writeback
+// pass). kAttached — the default, and the only state the blocking
+// paths ever see — means a publisher is (or will be) waiting to
+// collect the result, so the slot must be handed back. kDetached means
+// the publisher has already returned without a handle
+// (Combining::submit_detached): no one will ever collect, so the
+// executor retires the slot itself — runs the completion callback and
+// recycles the publication record directly.
+enum class OpCompletion : std::uint8_t { kAttached, kDetached };
+
+// ---- owner-tagged slot words ---------------------------------------
+//
+// The cross-process protocol adds a failure domain the in-process one
+// lacks: a publisher can die (SIGKILL) between claim and collect, and
+// nothing in its address space survives to recycle the record. The shm
+// slots therefore pack {state, owner pid} into ONE atomic 64-bit word
+// — state in the low half, pid in the high half — so the claim CAS and
+// the ownership stamp are a single indivisible step: a reclaim sweep
+// can never observe a claimed record whose owner field still belongs
+// to a previous (possibly dead) occupant. The in-process wrapper keeps
+// a bare SlotState word; same states, same transitions.
+
+[[nodiscard]] constexpr std::uint64_t pack_slot(SlotState state,
+                                                std::uint32_t owner) noexcept {
+  return static_cast<std::uint64_t>(state) |
+         (static_cast<std::uint64_t>(owner) << 32);
+}
+
+[[nodiscard]] constexpr SlotState slot_state_of(std::uint64_t word) noexcept {
+  return static_cast<SlotState>(word & 0xffffffffull);
+}
+
+[[nodiscard]] constexpr std::uint32_t slot_owner_of(
+    std::uint64_t word) noexcept {
+  return static_cast<std::uint32_t>(word >> 32);
+}
+
+static_assert(slot_state_of(pack_slot(SlotState::kPending, 0x1234)) ==
+              SlotState::kPending);
+static_assert(slot_owner_of(pack_slot(SlotState::kPending, 0x1234)) == 0x1234);
+static_assert(pack_slot(SlotState::kFree, 0) == 0,
+              "zero-initialized slot words must read as free/unowned");
+
+}  // namespace scm

@@ -1,0 +1,421 @@
+// ShmCombining — the flat-combining wrapper rebuilt for a shared
+// segment, so INDEPENDENT PROCESSES submit operations into one
+// combiner the way threads submit into core/combining.hpp.
+//
+// The insight carried over from the in-process wrapper: a publication
+// slot is already a wait-free mailbox. Nothing about the
+// kFree → kClaimed → kPending → kDone protocol (core/slot_protocol.hpp
+// — shared with Combining, enforced by static_assert in shm_test)
+// depends on a virtual address: the slot array, the gate word, and the
+// wrapped object all live inline in this object, which itself lives at
+// an arena offset, and every synchronization word is a lock-free
+// std::atomic — address-free, so acquire/release pairs order accesses
+// between different processes' mappings of the same physical lines.
+// Ticket-style completion polls therefore work cross-process: poll the
+// slot's word for kDone, exactly like Ticket::poll does in-process.
+//
+// What IS new is the failure domain. A thread cannot vanish
+// mid-publication; a process can (SIGKILL, OOM kill). Two mechanisms
+// absorb that:
+//
+//   - Every slot word packs {state, owner PID} into ONE atomic u64
+//     (state low half, pid high half — pack_slot in
+//     core/slot_protocol.hpp), so the claim CAS and the ownership
+//     stamp are indivisible: a reclaim sweep can never see a claimed
+//     record with a stale owner. The combiner preserves the
+//     publisher's pid when it stores kDone, so a publisher that died
+//     waiting still has its name on the slot.
+//   - reclaim_dead() sweeps, UNDER THE GATE, every slot whose owner no
+//     longer exists (kill(pid, 0) probe, injectable for tests) and
+//     frees the ones the dead process could never recycle itself:
+//     kClaimed (died mid-write — the request was never published, so
+//     dropping it is the only sound choice) and kDone (died waiting —
+//     the op executed; only its collection is abandoned). kPending
+//     slots of dead owners are NOT dropped: the publication is
+//     complete (the kPending store released it), so the next combine
+//     pass executes it and the slot becomes reclaimable kDone. The
+//     gate itself is also stolen from a dead holder, since a dead
+//     combiner otherwise wedges the object forever.
+//
+// Division of labor that makes crash-reclaim SOUND rather than
+// best-effort: a process that may be killed should submit with
+// may_combine = false (publication only — the compose.shm clients do).
+// Then it can only ever die holding a slot, never the gate mid-batch,
+// and the reconciliation bound is exact: a client killed at an
+// arbitrary point has AT MOST ONE operation in flight, which either
+// executed (kPending/kDone) or did not (kClaimed), so
+// completed_ops <= object_total <= started_ops holds with slack <= 1
+// per kill. A combiner dying mid-batch would instead leave the wrapped
+// object's state ahead of any count — unrecoverable without undo logs.
+//
+// Like the in-process wrapper, publishers BLOCK on the combiner's
+// progress: native-platform only (NativeContext), never the
+// deterministic simulator.
+#pragma once
+
+#include "shm/shm_arena.hpp"  // platform gate: defines SCM_HAS_POSIX_SHM
+
+#if SCM_HAS_POSIX_SHM
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <type_traits>
+
+#include "core/batch.hpp"
+#include "core/module.hpp"
+#include "core/slot_protocol.hpp"
+#include "history/request.hpp"
+#include "runtime/ids.hpp"
+#include "support/assert.hpp"
+#include "support/backoff.hpp"
+#include "support/cacheline.hpp"
+
+namespace scm {
+
+// Liveness probe for reclaim_dead: signal 0 delivers nothing but
+// performs the existence/permission check. EPERM means "exists but
+// not ours" — alive; only ESRCH means gone.
+inline bool shm_process_alive(std::uint32_t pid) noexcept {
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+}
+
+template <class Obj, std::size_t kSlots>
+class ShmCombining {
+  static_assert(kSlots >= 1, "a combining wrapper needs at least one slot");
+  static_assert(std::is_trivially_destructible_v<Obj>,
+                "segment-resident objects are never destroyed in-place");
+
+  // One publication record, padded to a cache line so distinct
+  // processes publish on distinct lines. The word packs
+  // {SlotState, owner pid}; request/init/result are plain fields
+  // ordered by the word's release stores exactly as in the in-process
+  // Slot — except init is (has_init, value) rather than std::optional,
+  // which is not guaranteed segment-safe layout.
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<std::uint64_t> word{0};  // pack_slot(kFree, 0)
+    Request request{};
+    SwitchValue init_value = 0;
+    ModuleResult result{};
+    bool has_init = false;
+  };
+  static_assert(std::is_trivially_destructible_v<Slot>);
+
+ public:
+  static constexpr std::size_t kSlotCount = kSlots;
+
+  // Same protocol as the in-process wrapper — shm_test asserts the
+  // two `slot_state` aliases are one type.
+  using slot_state = SlotState;
+
+  // Compiled-in shape fingerprint, published alongside the arena
+  // offset and checked by attachers BEFORE the first shared access:
+  // folds the slot protocol revision and every layout-determining
+  // quantity, so two binaries whose ShmCombining instantiations
+  // disagree in any way fail fast at resolve time.
+  static constexpr std::uint32_t kTypeTag = [] {
+    std::uint32_t h = 2166136261u;  // FNV-1a
+    for (std::uint64_t v :
+         {std::uint64_t{kSlotProtocolVersion}, std::uint64_t{kSlots},
+          std::uint64_t{sizeof(Obj)}, std::uint64_t{alignof(Obj)},
+          std::uint64_t{sizeof(Slot)}, std::uint64_t{sizeof(Request)},
+          std::uint64_t{sizeof(ModuleResult)}}) {
+      for (int b = 0; b < 8; ++b) {
+        h ^= static_cast<std::uint32_t>((v >> (8 * b)) & 0xff);
+        h *= 16777619u;
+      }
+    }
+    return h;
+  }();
+
+  ShmCombining() = default;
+  ShmCombining(const ShmCombining&) = delete;
+  ShmCombining& operator=(const ShmCombining&) = delete;
+
+  // Publish, then wait to be served — or combine. With
+  // may_combine = true (the default; in-process-equivalent behavior)
+  // the caller elects itself combiner whenever the gate is free, so a
+  // single process is self-sufficient. Crash-exposed processes pass
+  // may_combine = false: pure publication, the op executes only on a
+  // serving combiner, and dying at any point leaves at most this one
+  // op ambiguous (see file comment). With false and no serving
+  // process anywhere, invoke blocks — the server contract.
+  template <class Ctx>
+    requires Composable<Obj, Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& m,
+                      std::optional<SwitchValue> init = std::nullopt,
+                      bool may_combine = true) {
+    const std::uint32_t self = self_pid();
+    // Fast path: gate free — run directly (a batch of one), serve
+    // whatever published meanwhile, release.
+    if (may_combine && try_gate(ctx, self)) {
+      const ModuleResult r = scm::apply(obj_, ctx, m, init);
+      direct_ops_.fetch_add(1, std::memory_order_relaxed);
+      combine(ctx);
+      release_gate();
+      return r;
+    }
+
+    Slot& slot = slots_[claim(ctx, self)];
+    slot.request = m;
+    slot.has_init = init.has_value();
+    slot.init_value = init.value_or(SwitchValue{0});
+    ctx.on_write();
+    // The release publishes the plain writes above; pid rides in the
+    // word so a reclaimer knows whose publication this is.
+    slot.word.store(pack_slot(SlotState::kPending, self),
+                    std::memory_order_release);
+
+    int spins = 0;
+    while (slot_state_of(slot.word.load(std::memory_order_acquire)) !=
+           SlotState::kDone) {
+      if (may_combine && try_gate(ctx, self)) {
+        combine(ctx);  // serves at least our own pending slot
+        release_gate();
+        continue;
+      }
+      spin_backoff(spins);
+    }
+    ctx.on_read();
+    const ModuleResult r = slot.result;
+    slot.word.store(pack_slot(SlotState::kFree, 0),
+                    std::memory_order_release);
+    return r;
+  }
+
+  // One combine pass if the gate is free right now; false when some
+  // other process holds it. The compose.shm server's serve loop is
+  // `while (...) try_serve(ctx);` — a dedicated combiner.
+  template <class Ctx>
+    requires Composable<Obj, Ctx>
+  bool try_serve(Ctx& ctx) {
+    if (!try_gate(ctx, self_pid())) return false;
+    combine(ctx);
+    release_gate();
+    return true;
+  }
+
+  // Combines until no publication is pending. Same contract as the
+  // in-process drain(): every op PUBLISHED before the call has
+  // executed on return; kDone slots still await their publishers.
+  // Safe on an empty/fresh object — returns immediately.
+  template <class Ctx>
+    requires Composable<Obj, Ctx>
+  void drain(Ctx& ctx) {
+    int spins = 0;
+    while (pending() != 0) {
+      if (try_serve(ctx)) continue;
+      spin_backoff(spins);
+    }
+  }
+
+  // Published-but-unserved operations right now (acquire scan — there
+  // is no pending-count hint on purpose: a cached counter drifts
+  // permanently when the process that was about to decrement it dies).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return count_in_state(SlotState::kPending);
+  }
+  // Records not currently kFree — the compose.shm gate checks this is
+  // zero after the final drain + reclaim.
+  [[nodiscard]] std::size_t occupied() const noexcept {
+    return kSlots - count_in_state(SlotState::kFree);
+  }
+
+  // Sweeps the wreckage of dead processes: frees kClaimed and kDone
+  // slots whose owner fails the liveness probe, and steals the gate
+  // from a dead holder first (a dead combiner wedges everything).
+  // Runs the sweep UNDER the gate so it cannot race a live combiner's
+  // scan/writeback; if a LIVE process holds the gate there is nothing
+  // to reclaim safely and the sweep is skipped (returns 0 — call
+  // again later, the server loop does). Returns slots freed.
+  //
+  // `alive(pid) -> bool` is injectable so tests can declare a live
+  // helper process "dead" deterministically.
+  template <class Alive>
+  std::size_t reclaim_dead(Alive&& alive) {
+    const std::uint32_t self = self_pid();
+    std::uint32_t holder = gate_.load(std::memory_order_acquire);
+    if (holder == 0) {
+      if (!gate_.compare_exchange_strong(holder, self,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        return 0;
+      }
+    } else {
+      if (alive(holder)) return 0;
+      // Steal from the dead: the CAS fails if anyone else (another
+      // reclaimer) already did.
+      if (!gate_.compare_exchange_strong(holder, self,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        return 0;
+      }
+    }
+
+    std::size_t reclaimed = 0;
+    for (Slot& s : slots_) {
+      std::uint64_t w = s.word.load(std::memory_order_acquire);
+      const SlotState state = slot_state_of(w);
+      const std::uint32_t owner = slot_owner_of(w);
+      // kPending is deliberately exempt: the publication is complete,
+      // so the op executes on the next combine and the slot resurfaces
+      // here as a dead-owned kDone.
+      if (owner == 0 || state == SlotState::kFree ||
+          state == SlotState::kPending) {
+        continue;
+      }
+      if (alive(owner)) continue;
+      // Only the owner performs kClaimed->kPending and kDone->kFree,
+      // and the owner is dead; the gate excludes combiners. The CAS is
+      // belt-and-braces against a probe that raced the owner's death.
+      if (s.word.compare_exchange_strong(w, pack_slot(SlotState::kFree, 0),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+        ++reclaimed;
+      }
+    }
+    release_gate();
+    return reclaimed;
+  }
+
+  std::size_t reclaim_dead() {
+    return reclaim_dead([](std::uint32_t pid) { return shm_process_alive(pid); });
+  }
+
+  [[nodiscard]] Obj& object() noexcept { return obj_; }
+  [[nodiscard]] const Obj& object() const noexcept { return obj_; }
+
+  // ---- combining telemetry (this process's mapping is shared, so
+  // these aggregate over ALL participating processes).
+
+  [[nodiscard]] std::uint64_t combine_rounds() const noexcept {
+    return rounds_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t combined_ops() const noexcept {
+    return batched_ops_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t direct_ops() const noexcept {
+    return direct_ops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::uint32_t self_pid() noexcept {
+    return static_cast<std::uint32_t>(::getpid());
+  }
+
+  // Gate = combiner election word holding the OWNER'S PID (0 = free),
+  // the cross-process analogue of the in-process TAS bool — the pid is
+  // what lets reclaim_dead distinguish "busy" from "wedged by a
+  // corpse".
+  template <class Ctx>
+  bool try_gate(Ctx& ctx, std::uint32_t self) {
+    std::uint32_t expected = 0;
+    if (gate_.load(std::memory_order_relaxed) == 0 &&
+        gate_.compare_exchange_strong(expected, self,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      ctx.on_rmw();
+      return true;
+    }
+    return false;
+  }
+  void release_gate() noexcept {
+    gate_.store(0, std::memory_order_release);
+  }
+
+  // Claims a free record, rotating from a pid-derived hint; blocks
+  // (paced) while the array is exhausted — slot holders are publishers
+  // mid-round-trip, and each round trip completes in bounded time once
+  // a combiner runs.
+  template <class Ctx>
+  std::size_t claim(Ctx& ctx, std::uint32_t self) {
+    const std::size_t hint = static_cast<std::size_t>(self) % kSlots;
+    int spins = 0;
+    for (;;) {
+      for (std::size_t k = 0; k < kSlots; ++k) {
+        const std::size_t idx =
+            hint + k < kSlots ? hint + k : hint + k - kSlots;
+        Slot& slot = slots_[idx];
+        std::uint64_t expected = pack_slot(SlotState::kFree, 0);
+        if (slot.word.load(std::memory_order_relaxed) == expected &&
+            slot.word.compare_exchange_strong(
+                expected, pack_slot(SlotState::kClaimed, self),
+                std::memory_order_acquire, std::memory_order_relaxed)) {
+          ctx.on_rmw();
+          return idx;
+        }
+      }
+      spin_backoff(spins);
+    }
+  }
+
+  // One combiner pass (pre: gate held by this process): snapshot the
+  // pending slots into a process-LOCAL batch, drive it through the
+  // shared run_batch dispatch, publish results back. The local batch
+  // is why a combiner crash mid-pass is unrecoverable — and why
+  // crash-exposed processes publish with may_combine = false.
+  template <class Ctx>
+  void combine(Ctx& ctx) {
+    std::array<OpSlot, kSlots> batch;
+    std::array<std::size_t, kSlots> source{};
+    std::array<std::uint32_t, kSlots> publisher{};
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      Slot& s = slots_[i];
+      const std::uint64_t w = s.word.load(std::memory_order_acquire);
+      if (slot_state_of(w) != SlotState::kPending) continue;
+      ctx.on_read();
+      batch[n].request = s.request;
+      batch[n].init = s.has_init ? std::optional<SwitchValue>(s.init_value)
+                                 : std::nullopt;
+      batch[n].done = false;
+      batch[n].completion = OpCompletion::kAttached;
+      source[n] = i;
+      publisher[n] = slot_owner_of(w);
+      ++n;
+    }
+    if (n == 0) return;
+
+    run_batch(obj_, ctx, std::span<OpSlot>(batch.data(), n));
+
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& s = slots_[source[i]];
+      s.result = batch[i].result;
+      ctx.on_write();
+      // Preserve the publisher's pid: if it died waiting, its name on
+      // the kDone slot is what makes the record reclaimable.
+      s.word.store(pack_slot(SlotState::kDone, publisher[i]),
+                   std::memory_order_release);
+    }
+    rounds_.fetch_add(1, std::memory_order_relaxed);
+    batched_ops_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t count_in_state(SlotState state) const noexcept {
+    std::size_t n = 0;
+    for (const Slot& s : slots_) {
+      if (slot_state_of(s.word.load(std::memory_order_acquire)) == state) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  std::array<Slot, kSlots> slots_{};
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> gate_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> rounds_{0};
+  std::atomic<std::uint64_t> batched_ops_{0};
+  std::atomic<std::uint64_t> direct_ops_{0};
+  alignas(kCacheLineSize) Obj obj_{};
+};
+
+}  // namespace scm
+
+#endif  // SCM_HAS_POSIX_SHM

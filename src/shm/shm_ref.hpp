@@ -1,0 +1,53 @@
+// ShmRef<T> — the offset smart pointer for segment-resident objects.
+//
+// A pointer stored inside a shared segment is garbage in every process
+// but the one that wrote it (each process maps the segment at its own
+// base address), so cross-object references inside the segment carry a
+// byte OFFSET instead and re-derive the local address through whatever
+// arena the current process holds. ShmRef is itself segment-storable:
+// one trivially-copyable 64-bit field, nothing else. Offset 0 is the
+// null reference (it addresses the arena header, which no object ever
+// occupies).
+//
+// The arena is a deliberate parameter of get()/in() rather than a
+// stored member: storing it would put a process-local pointer back
+// into the type and defeat the point.
+#pragma once
+
+#include <cstdint>
+
+namespace scm {
+
+template <class T>
+class ShmRef {
+ public:
+  constexpr ShmRef() = default;
+  constexpr explicit ShmRef(std::uint64_t offset) noexcept
+      : offset_(offset) {}
+
+  [[nodiscard]] constexpr std::uint64_t offset() const noexcept {
+    return offset_;
+  }
+  [[nodiscard]] constexpr explicit operator bool() const noexcept {
+    return offset_ != 0;
+  }
+
+  // Resolve against this process's mapping. Arena is a template
+  // parameter (anything with `at<T>(offset)`) so this header has no
+  // platform dependency and ShmRef stays usable in #if-gated code.
+  template <class Arena>
+  [[nodiscard]] T* get(Arena& arena) const {
+    return arena.template at<T>(offset_);
+  }
+  template <class Arena>
+  [[nodiscard]] T& in(Arena& arena) const {
+    return *get(arena);
+  }
+
+  friend constexpr bool operator==(ShmRef, ShmRef) = default;
+
+ private:
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace scm

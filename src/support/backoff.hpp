@@ -1,0 +1,70 @@
+// Spin-wait pacing shared by every blocking wait loop in the tree: the
+// in-process flat-combining wrapper (core/combining.hpp), the ticket
+// wait paths, and the cross-process shm gate (shm/shm_combining.hpp).
+//
+// Two layers:
+//   cpu_pause()    — one core-local spin hint (x86 `pause`, ARM
+//                    `yield`), telling the pipeline and an SMT sibling
+//                    that this is a spin-wait without giving up the
+//                    timeslice;
+//   spin_backoff() — the exponential spin → pause → yield ladder that
+//                    keeps short waits free, medium waits polite, and
+//                    long waits (oversubscribed runs, cross-process
+//                    waits on a descheduled server) yielding.
+//
+// Portability: targets without a dedicated spin-hint instruction fall
+// back to a compiler reordering barrier — the caller's re-read of the
+// watched variable is the wait. Defining SCM_FORCE_GENERIC_CPU_PAUSE
+// before including this header forces that fallback on any target;
+// backoff_test compiles a translation unit both ways so the fallback
+// path cannot rot unnoticed on x86-only CI.
+#pragma once
+
+#include <thread>
+
+namespace scm {
+
+inline void cpu_pause() noexcept {
+#if !defined(SCM_FORCE_GENERIC_CPU_PAUSE) && \
+    (defined(__x86_64__) || defined(__i386__))
+  __builtin_ia32_pause();
+#elif !defined(SCM_FORCE_GENERIC_CPU_PAUSE) && defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // No spin hint on this target (or the fallback is forced for
+  // testing): a compiler barrier so the watched re-read is not hoisted
+  // out of the caller's loop. The re-read itself is the wait.
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" ::: "memory");
+#endif
+#endif
+}
+
+// Spin-wait pacing: an exponential spin → pause → yield ladder. The
+// first few iterations re-read bare (the watched line is cache-local
+// until the writer invalidates it, so the common short wait costs
+// nothing extra); medium waits insert a doubling number of pause
+// hints, keeping the core polite without a syscall; long waits yield
+// the timeslice every iteration, which is what makes oversubscribed
+// runs (threads > cores, the CI regime) — and cross-process waits on a
+// server that lost its timeslice — complete promptly. A fixed spin
+// count would burn whole quanta that the thread being waited on needs.
+// There is no wakeup to lose: every rung returns to the caller's
+// re-read of the watched variable.
+inline void spin_backoff(int& spins) noexcept {
+  constexpr int kSpinRungs = 8;   // bare re-reads
+  constexpr int kPauseRungs = 8;  // 1, 2, 4, ... 128 pauses
+  if (spins < kSpinRungs) {
+    ++spins;
+    return;
+  }
+  if (spins < kSpinRungs + kPauseRungs) {
+    const int reps = 1 << (spins - kSpinRungs);
+    for (int i = 0; i < reps; ++i) cpu_pause();
+    ++spins;
+    return;
+  }
+  std::this_thread::yield();  // saturated: hand over the timeslice
+}
+
+}  // namespace scm

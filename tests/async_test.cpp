@@ -710,5 +710,56 @@ TEST(OpenLoop, DegenerateParametersProduceEmptyResults) {
   EXPECT_EQ(workload::run_open_loop(1, 3, 0, submit).total_ops, 3u);
 }
 
+// A window wider than a thread's whole op budget — the shape every
+// short crash-injected multi-process run has (few ops, generous
+// in-flight allowance). The driver must neither deadlock waiting to
+// fill an unfillable window nor lose the tail: every op still
+// completes, is accounted exactly once, and harvests one latency
+// sample.
+TEST(OpenLoop, WindowWiderThanPerThreadOpsCompletesAndAccountsEveryOp) {
+  constexpr int kThreads = 3;
+  constexpr std::uint64_t kOps = 5;        // per thread
+  constexpr std::size_t kWindow = 64;      // >> kOps
+  Combining<Pipeline<HopModule, TicketModule>, 8, ByThread> cell;
+  std::atomic<std::uint64_t> committed{0};
+
+  const workload::OpenLoopResult r = workload::run_open_loop(
+      kThreads, kOps, kWindow,
+      [&](NativeContext& ctx, std::uint64_t i) {
+        return cell.submit(
+            ctx, req((static_cast<std::uint64_t>(ctx.id()) << 40) | (i + 1),
+                     ctx.id()));
+      },
+      [&](NativeContext&, const ModuleResult& res) {
+        if (res.committed()) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+
+  EXPECT_EQ(r.total_ops, static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(committed.load(), r.total_ops);
+  EXPECT_EQ(r.latency_ns.size(), r.total_ops);
+  EXPECT_EQ(cell.object().stage<1>().count(), r.total_ops);
+  NativeContext ctx(0);
+  cell.drain(ctx);  // nothing left pending after the run
+}
+
+// drain() on a Combining that has never seen a publication (and again
+// after everything already completed) must return immediately — the
+// multi-process driver drains defensively after short runs where
+// nothing may be in flight.
+TEST(OpenLoop, DrainOnEmptyCombiningReturnsImmediately) {
+  Combining<TicketModule, 4, ByThread> cell;
+  NativeContext ctx(0);
+  cell.drain(ctx);  // fresh object: no publication has ever existed
+  EXPECT_EQ(cell.object().count(), 0u);
+
+  EXPECT_TRUE(cell.invoke(ctx, req(1, 0)).committed());
+  cell.drain(ctx);  // quiescent again: the only op already collected
+  cell.drain(ctx);  // idempotent
+  EXPECT_EQ(cell.object().count(), 1u);
+  EXPECT_EQ(cell.combine_rounds() + cell.direct_ops(), 1u);
+}
+
 }  // namespace
 }  // namespace scm

@@ -231,7 +231,11 @@ TEST(ReportSchema, ContainsRequiredKeys) {
   for (const char* key :
        {"\"params\"", "\"threads\"", "\"ops\"", "\"reps\"", "\"warmup\"",
         "\"schedule\"", "\"seed\"", "\"scenarios\"",
-        "\"hardware_concurrency\"", "\"affinity_cpus\"", "\"git_sha\""}) {
+        "\"hardware_concurrency\"", "\"affinity_cpus\"", "\"git_sha\"",
+        // Cross-process (compose.shm) parameters — additive like the
+        // environment keys above.
+        "\"page_size\"", "\"shm_procs\"", "\"shm_segment_bytes\"",
+        "\"shm_slot_count\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   // Per scenario.
