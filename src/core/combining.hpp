@@ -43,14 +43,23 @@
 // Combining with any slot still occupied — an outstanding ticket, an
 // un-drained detached submission — is a checked error.
 //
-// Platform note: publishers BLOCK (spin, with periodic yields) on the
-// combiner's progress, which is incompatible with the deterministic
-// simulator's step-granting scheduler — Combining is a native-platform
-// combinator. Like SpinBarrier, the unbounded spin loads are not
-// counted as steps; the slot-claim and pending-hint RMWs, the publish
-// write, the result read, the combiner-election RMW, and the
-// combiner's slot scan/writeback are (they are the algorithm's real
-// per-operation shared-memory traffic).
+// Platform note: publishers BLOCK on the combiner's progress, but the
+// blocking points all go through the wait_until() seam
+// (runtime/wait.hpp): native contexts spin with the shared backoff
+// ladder exactly as before, while the deterministic simulator parks
+// the process on a wait predicate — so the ENTIRE slot protocol runs
+// under SimPlatform and sim::explore enumerates its interleavings
+// (slot_protocol_explore_test checks linearizability and zero slot
+// residue over every schedule of 2-3 processes). Like SpinBarrier, the
+// unbounded spin loads are not counted as steps; the slot-claim and
+// pending-hint RMWs, the publish write, the result read, the
+// combiner-election RMW, and the combiner's slot scan/writeback are
+// (they are the algorithm's real per-operation shared-memory traffic).
+// The election lock's failed pre-test loads and release store are
+// uncounted as well: under the simulator each such access is adjacent
+// to a counted scheduling point, so no interleaving class is lost —
+// only equivalent schedules collapse, which is what keeps exhaustive
+// exploration tractable.
 #pragma once
 
 #include <algorithm>
@@ -71,6 +80,7 @@
 #include "core/slot_protocol.hpp"
 #include "history/request.hpp"
 #include "runtime/ids.hpp"
+#include "runtime/wait.hpp"
 #include "support/assert.hpp"
 #include "support/backoff.hpp"
 #include "support/cacheline.hpp"
@@ -172,11 +182,16 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
 
     // Wait to be served, electing ourselves combiner whenever the lock
     // is free (test-and-test-and-set). Our own slot is pending
-    // throughout, so our combine() pass serves at least ourselves.
-    int spins = 0;
-    while (slot.status.load(std::memory_order_acquire) != kDone) {
+    // throughout, so our combine() pass serves at least ourselves. The
+    // wait parks until something can have changed: our slot completed,
+    // or the lock freed and we should re-attempt the election.
+    for (;;) {
+      if (slot.status.load(std::memory_order_acquire) == kDone) break;
       if (help_combine(ctx)) continue;
-      detail::combining_backoff(spins);
+      wait_until(ctx, [this, &slot] {
+        return slot.status.load(std::memory_order_relaxed) == kDone ||
+               !lock_.value.load(std::memory_order_relaxed);
+      });
     }
     return collect(ctx, *idx);
   }
@@ -197,8 +212,11 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     std::uint64_t live = 0;
     for (const OpSlot& slot : batch) live += slot.done ? 0 : 1;
     if (live == 0) return;
-    int spins = 0;
-    while (!try_lock(ctx)) detail::combining_backoff(spins);
+    while (!try_lock(ctx)) {
+      wait_until(ctx, [this] {
+        return !lock_.value.load(std::memory_order_relaxed);
+      });
+    }
     run_batch(obj_.value, ctx, batch);
     direct_ops_.fetch_add(live, std::memory_order_relaxed);
     combine(ctx);
@@ -280,12 +298,14 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
   template <class Ctx>
   void drain(Ctx& ctx) {
     if constexpr (detail::context_can_block_v<Ctx>) {
-      int spins = 0;
       // Acquire: pairs with the combiner's release decrement, so the
       // zero observation carries every served op's effects with it.
       while (pending_hint_.value.load(std::memory_order_acquire) != 0) {
         if (help_combine(ctx)) continue;
-        detail::combining_backoff(spins);
+        wait_until(ctx, [this] {
+          return pending_hint_.value.load(std::memory_order_relaxed) == 0 ||
+                 !lock_.value.load(std::memory_order_relaxed);
+        });
       }
     } else {
       (void)ctx;
@@ -315,6 +335,18 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
   // publication). direct_ops() + combined_ops() == total invocations.
   [[nodiscard]] std::uint64_t direct_ops() const noexcept {
     return direct_ops_.load(std::memory_order_relaxed);
+  }
+
+  // Publication records not currently kFree — the slot-residue probe
+  // (mirrors ShmCombining::occupied()). Zero once every invoke has
+  // returned, every ticket is collected, and detached work is drained;
+  // the explorer asserts exactly that after every explored schedule.
+  [[nodiscard]] std::size_t occupied() const noexcept {
+    std::size_t n = 0;
+    for (const auto& padded : slots_) {
+      if (padded.value.status.load(std::memory_order_acquire) != kFree) ++n;
+    }
+    return n;
   }
 
   // ---- forwarded statistics surfaces (enabled exactly when the
@@ -504,7 +536,6 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
                                           CompletionFn completion = nullptr,
                                           void* user = nullptr) {
     const std::size_t hint = route_slot(ctx, m);
-    int spins = 0;
     for (;;) {
       if constexpr (requires(Policy& p) { p.on_complete(hint); }) {
         Slot& slot = slots_[hint].value;
@@ -529,7 +560,23 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
         }
         return std::nullopt;
       }
-      detail::combining_backoff(spins);
+      // Nothing claimable and the lock is held: park until a record
+      // (the routed one for load-tracking policies, any for stateless
+      // ones) frees or the lock does, then retry the races above.
+      wait_until(ctx, [this, hint] {
+        if (!lock_.value.load(std::memory_order_relaxed)) return true;
+        if constexpr (requires(Policy& p) { p.on_complete(hint); }) {
+          return slots_[hint].value.status.load(std::memory_order_relaxed) ==
+                 kFree;
+        } else {
+          for (const auto& padded : slots_) {
+            if (padded.value.status.load(std::memory_order_relaxed) == kFree) {
+              return true;
+            }
+          }
+          return false;
+        }
+      });
     }
   }
 
@@ -599,10 +646,13 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
         static_cast<std::size_t>(reinterpret_cast<std::uintptr_t>(slot));
     Ctx& c = *static_cast<Ctx*>(ctx);
     Slot& s = self->slots_[idx].value;
-    int spins = 0;
-    while (s.status.load(std::memory_order_acquire) != kDone) {
+    for (;;) {
+      if (s.status.load(std::memory_order_acquire) == kDone) break;
       if (self->help_combine(c)) continue;
-      detail::combining_backoff(spins);
+      wait_until(c, [self, &s] {
+        return s.status.load(std::memory_order_relaxed) == kDone ||
+               !self->lock_.value.load(std::memory_order_relaxed);
+      });
     }
     *out = self->collect(c, idx);
   }

@@ -67,6 +67,7 @@ class alignas(kCacheLineSize) NativeCas {
   [[nodiscard]] bool compare_and_swap(Ctx& ctx, T& expected, T desired) noexcept {
     ctx.on_rmw();
     return cell_.compare_exchange_strong(expected, desired,
+                                         std::memory_order_seq_cst,
                                          std::memory_order_seq_cst);
   }
 

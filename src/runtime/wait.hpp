@@ -1,0 +1,62 @@
+// The blocking-point seam between platforms.
+//
+// Every combining-style layer has wait loops ("until my slot turns
+// kDone", "until the election lock frees") that used to be raw native
+// spins — which made the whole slot protocol invisible to the
+// deterministic simulator: a spinning thread never parks, so the
+// step-granting scheduler can neither interleave nor terminate it.
+// wait_until() is the one place that duality now lives:
+//
+//   * NativeContext (no await support): spin on the predicate with the
+//     shared backoff ladder — exactly the wait the native wrappers
+//     always performed, minus the per-iteration lock hammering (the
+//     caller re-attempts its RMW only after the predicate turns true,
+//     a test-and-test-and-set discipline).
+//   * SimContext (kCanAwait): park in SimContext::await. The scheduler
+//     excludes the process from the runnable set until the predicate
+//     holds, so sim::explore's interleaving tree stays finite and a
+//     lost wakeup surfaces as a loud simulated deadlock.
+//
+// Contract for callers: the predicate must be a pure condition over
+// shared state (no side effects, no steps — it may be evaluated by the
+// sim controller outside any grant), and wait_until returning only
+// means the predicate HELD at some instant — re-validate with a real
+// RMW afterwards, as with any condition-variable wakeup.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "support/backoff.hpp"
+
+namespace scm {
+
+namespace detail {
+
+// Contexts that can park on a condition mark themselves with
+// `static constexpr bool kCanAwait = true` (SimContext); everything
+// else falls back to the native spin.
+template <class Ctx, class = void>
+struct context_can_await : std::false_type {};
+
+template <class Ctx>
+struct context_can_await<Ctx, std::void_t<decltype(Ctx::kCanAwait)>>
+    : std::bool_constant<Ctx::kCanAwait> {};
+
+template <class Ctx>
+inline constexpr bool context_can_await_v = context_can_await<Ctx>::value;
+
+}  // namespace detail
+
+template <class Ctx, class Pred>
+void wait_until(Ctx& ctx, Pred&& pred) {
+  if constexpr (detail::context_can_await_v<Ctx>) {
+    ctx.await(std::forward<Pred>(pred));
+  } else {
+    (void)ctx;
+    int spins = 0;
+    while (!pred()) spin_backoff(spins);
+  }
+}
+
+}  // namespace scm

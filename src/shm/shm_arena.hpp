@@ -53,11 +53,17 @@
 #include <type_traits>
 #include <utility>
 
+#include "shm/shm_layout.hpp"
 #include "support/assert.hpp"
 #include "support/backoff.hpp"
 
 namespace scm {
 
+// ShmArena is the process-local HANDLE to a segment (mapping base,
+// path) — it lives on this process's stack/heap, never inside the
+// segment itself. Only the nested Header/NameEntry/FreeBlock structs
+// are segment-resident.
+// scm-lint: process-local
 class ShmArena {
  public:
   // "scm-shm1" — also the init-complete flag: create() stores it with
@@ -80,6 +86,7 @@ class ShmArena {
     std::uint64_t size = 0;
     std::uint32_t type_tag = 0;
   };
+  SCM_ASSERT_ADDRESS_FREE(Resolved);
 
   // ---- segment lifecycle -------------------------------------------
 
@@ -347,6 +354,7 @@ class ShmArena {
     std::uint64_t next;  // offset of the next free block, 0 = end
     std::uint64_t size;
   };
+  SCM_ASSERT_ADDRESS_FREE(FreeBlock);
 
   struct NameEntry {
     static constexpr std::uint32_t kEmpty = 0;
@@ -357,6 +365,7 @@ class ShmArena {
     std::uint64_t size = 0;
     char name[kNameCapacity] = {};
   };
+  SCM_ASSERT_ADDRESS_FREE(NameEntry);
 
   struct Header {
     std::atomic<std::uint64_t> magic{0};  // kMagic once init completes
@@ -369,9 +378,13 @@ class ShmArena {
     std::atomic<std::uint64_t> free_head{0};
     NameEntry table[kNameTableEntries]{};
   };
+  SCM_ASSERT_ADDRESS_FREE(Header);
   static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
                 "shm atomics must be address-free");
 
+  // RAII guard over the header spinlock: stack-resident in the locking
+  // process, holds a reference into the mapping.
+  // scm-lint: process-local
   class LockGuard {
    public:
     explicit LockGuard(std::atomic<std::uint32_t>& lock) : lock_(lock) {

@@ -18,8 +18,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <type_traits>
 
+#include "shm/shm_layout.hpp"
 #include "support/backoff.hpp"
 
 namespace scm {
@@ -67,7 +67,6 @@ class ShmSpinBarrier {
   std::atomic<std::uint64_t> state_{0};
 };
 
-static_assert(std::is_standard_layout_v<ShmSpinBarrier>,
-              "ShmSpinBarrier must be segment-storable");
+SCM_ASSERT_ADDRESS_FREE(ShmSpinBarrier);
 
 }  // namespace scm

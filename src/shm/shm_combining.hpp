@@ -74,6 +74,7 @@
 #include "core/slot_protocol.hpp"
 #include "history/request.hpp"
 #include "runtime/ids.hpp"
+#include "shm/shm_layout.hpp"
 #include "support/assert.hpp"
 #include "support/backoff.hpp"
 #include "support/cacheline.hpp"
@@ -106,7 +107,7 @@ class ShmCombining {
     ModuleResult result{};
     bool has_init = false;
   };
-  static_assert(std::is_trivially_destructible_v<Slot>);
+  SCM_ASSERT_ADDRESS_FREE(Slot);
 
  public:
   static constexpr std::size_t kSlotCount = kSlots;
@@ -415,6 +416,21 @@ class ShmCombining {
   std::atomic<std::uint64_t> direct_ops_{0};
   alignas(kCacheLineSize) Obj obj_{};
 };
+
+// A class template cannot assert on itself from inside its own
+// definition, so the wrapper-level layout guarantee is pinned on a
+// minimal probe instantiation: if ShmCombining<trivial Obj> is
+// segment-safe, nothing in the wrapper's own members (slots, gate,
+// telemetry words) breaks address freedom — a real Obj can only break
+// it through its own fields, which its own SCM_ASSERT_ADDRESS_FREE
+// covers (e.g. ShmCounter's).
+namespace detail {
+struct ShmLayoutProbe {
+  std::atomic<std::uint64_t> word{0};
+};
+}  // namespace detail
+SCM_ASSERT_ADDRESS_FREE(detail::ShmLayoutProbe);
+SCM_ASSERT_ADDRESS_FREE(ShmCombining<detail::ShmLayoutProbe, 2>);
 
 }  // namespace scm
 

@@ -16,12 +16,12 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
-#include <type_traits>
 
 #include "core/module.hpp"
 #include "history/request.hpp"
 #include "history/specs.hpp"
 #include "runtime/ids.hpp"
+#include "shm/shm_layout.hpp"
 
 namespace scm {
 
@@ -55,8 +55,6 @@ class ShmCounter {
   std::atomic<std::int64_t> value_{0};
 };
 
-static_assert(std::is_standard_layout_v<ShmCounter>,
-              "ShmCounter must be segment-storable");
-static_assert(std::is_trivially_destructible_v<ShmCounter>);
+SCM_ASSERT_ADDRESS_FREE(ShmCounter);
 
 }  // namespace scm

@@ -15,6 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
+
+#include "shm/shm_layout.hpp"
 
 namespace scm {
 
@@ -49,5 +52,12 @@ class ShmRef {
  private:
   std::uint64_t offset_ = 0;
 };
+
+// ShmRef is a pure value type (no atomics, no deleted copies), so on
+// top of the segment-residency baseline it is fully trivially
+// copyable — references can be passed around and memcpy'd freely.
+SCM_ASSERT_ADDRESS_FREE(ShmRef<int>);
+static_assert(std::is_trivially_copyable_v<ShmRef<int>>,
+              "ShmRef must stay a bare offset");
 
 }  // namespace scm

@@ -1,0 +1,384 @@
+// CombiningModel — the owner-tagged slot protocol under the
+// deterministic simulator.
+//
+// ShmCombining (shm/shm_combining.hpp) is the protocol's cross-process
+// executor: {SlotState, owner pid} packed into one atomic word per
+// slot, a pid-holding gate, and a reclaim_dead() sweep for records a
+// killed process can never recycle. None of that is reachable by the
+// repo's exhaustive checker — real processes, real PIDs, real SIGKILL.
+// This class is the same protocol rebuilt one-to-one over the
+// context/platform seam so sim::explore can enumerate it:
+//
+//   * identical states, transitions, and word packing — it includes
+//     core/slot_protocol.hpp and uses pack_slot/slot_state_of/
+//     slot_owner_of verbatim, so the model cannot drift from the enum
+//     the executors share;
+//   * owner ids come from the context (ctx.id() + 1, nonzero as pids
+//     are) instead of getpid();
+//   * liveness is injectable exactly as in ShmCombining::reclaim_dead,
+//     so a test declares a simulated process dead;
+//   * every blocking point goes through wait_until (runtime/wait.hpp),
+//     so under SimContext waiters park on predicates and the explored
+//     interleaving tree is finite;
+//   * "a process dies at protocol stage X" is modeled by the crash
+//     surface below: a process body that calls claim_only /
+//     publish_only / seize_gate and then RETURNS leaves shared state
+//     exactly as a SIGKILL at that point would — the simulator retires
+//     the thread, the test's alive() predicate reports it dead, and
+//     the explorer checks the survivors' reclaim against every
+//     interleaving.
+//
+// What the explorer checks on top of this model
+// (slot_protocol_explore_test): linearizability of the served
+// operations against the sequential spec, zero slot residue after
+// drain + reclaim, the dead owner's kPending op executing EXACTLY
+// once, kClaimed/kDone wreckage being swept, and the gate being stolen
+// from a dead holder. The seeded mutation (kMutateDropOwnerStamp in
+// core/slot_protocol.hpp) breaks the first of those sweeps and exists
+// to prove these checks have teeth.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "core/batch.hpp"
+#include "core/module.hpp"
+#include "core/slot_protocol.hpp"
+#include "history/request.hpp"
+#include "runtime/ids.hpp"
+#include "runtime/wait.hpp"
+
+namespace scm::sim {
+
+template <class Obj, std::size_t kSlots>
+class CombiningModel {
+  static_assert(kSlots >= 1, "a combining wrapper needs at least one slot");
+
+  // One publication record — the in-memory twin of ShmCombining::Slot
+  // minus the cacheline padding (the sim serializes every access, so
+  // false sharing is not part of the modeled behavior).
+  struct Slot {
+    std::atomic<std::uint64_t> word{0};  // pack_slot(kFree, 0)
+    Request request{};
+    SwitchValue init_value = 0;
+    ModuleResult result{};
+    bool has_init = false;
+  };
+
+ public:
+  static constexpr std::size_t kSlotCount = kSlots;
+  using slot_state = SlotState;
+
+  CombiningModel() = default;
+  CombiningModel(const CombiningModel&) = delete;
+  CombiningModel& operator=(const CombiningModel&) = delete;
+
+  // The model's owner id for a context: ctx.id() + 1, so process 0 is
+  // distinguishable from "unowned" the way a pid is.
+  template <class Ctx>
+  [[nodiscard]] static std::uint32_t owner_of(const Ctx& ctx) noexcept {
+    return static_cast<std::uint32_t>(ctx.id()) + 1;
+  }
+
+  // Publish, then wait to be served — or combine, mirroring
+  // ShmCombining::invoke including the may_combine split (a
+  // crash-exposed publisher never takes the gate, so its death leaves
+  // at most one operation ambiguous).
+  template <class Ctx>
+    requires Composable<Obj, Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& m,
+                      std::optional<SwitchValue> init = std::nullopt,
+                      bool may_combine = true) {
+    const std::uint32_t self = owner_of(ctx);
+    if (may_combine && try_gate(ctx, self)) {
+      const ModuleResult r = scm::apply(obj_, ctx, m, init);
+      combine(ctx);
+      release_gate();
+      return r;
+    }
+
+    const std::size_t idx = claim(ctx, self);
+    publish(ctx, idx, m, init, self);
+    Slot& slot = slots_[idx];
+    for (;;) {
+      if (slot_state_of(slot.word.load(std::memory_order_acquire)) ==
+          SlotState::kDone) {
+        break;
+      }
+      if (may_combine && try_gate(ctx, self)) {
+        combine(ctx);  // serves at least our own pending slot
+        release_gate();
+        continue;
+      }
+      wait_until(ctx, [this, &slot, may_combine] {
+        if (slot_state_of(slot.word.load(std::memory_order_relaxed)) ==
+            SlotState::kDone) {
+          return true;
+        }
+        return may_combine && gate_.load(std::memory_order_relaxed) == 0;
+      });
+    }
+    ctx.on_read();
+    const ModuleResult r = slot.result;
+    slot.word.store(pack_slot(SlotState::kFree, 0), std::memory_order_release);
+    return r;
+  }
+
+  // One combine pass if the gate is free right now (the dedicated
+  // server loop of the E16 scenario, modeled).
+  template <class Ctx>
+    requires Composable<Obj, Ctx>
+  bool try_serve(Ctx& ctx) {
+    if (!try_gate(ctx, owner_of(ctx))) return false;
+    combine(ctx);
+    release_gate();
+    return true;
+  }
+
+  // Combines until no publication is pending; same contract as the
+  // executors' drain().
+  template <class Ctx>
+    requires Composable<Obj, Ctx>
+  void drain(Ctx& ctx) {
+    while (pending() != 0) {
+      if (try_serve(ctx)) continue;
+      wait_until(ctx, [this] {
+        return pending() == 0 ||
+               gate_.load(std::memory_order_relaxed) == 0;
+      });
+    }
+  }
+
+  // ---- crash surface ------------------------------------------------
+  //
+  // Each entry performs a protocol PREFIX and returns, so a process
+  // body "claim_only(ctx); return;" is the model of a publisher killed
+  // between claim and publish. The shared state left behind is
+  // byte-for-byte what the full entry would have left at that point.
+
+  // Dies between claim and publish: leaves a kClaimed record stamped
+  // with this owner (or 0 under the seeded mutation — the leak the
+  // explorer must catch). Returns the claimed index.
+  template <class Ctx>
+  std::size_t claim_only(Ctx& ctx) {
+    return claim(ctx, owner_of(ctx));
+  }
+
+  // Dies waiting to be served: leaves a fully published kPending
+  // record. The op MUST still execute exactly once (the publication
+  // released it); the slot then resurfaces as dead-owned kDone for the
+  // sweep. Returns the slot index.
+  template <class Ctx>
+  std::size_t publish_only(Ctx& ctx, const Request& m,
+                           std::optional<SwitchValue> init = std::nullopt) {
+    const std::uint32_t self = owner_of(ctx);
+    const std::size_t idx = claim(ctx, self);
+    publish(ctx, idx, m, init, self);
+    return idx;
+  }
+
+  // Dies holding the gate (between election and the combine pass — a
+  // combiner killed mid-batch is unrecoverable and out of the model's
+  // scope, exactly as documented in ShmCombining). Blocks until the
+  // election succeeds.
+  template <class Ctx>
+  void seize_gate(Ctx& ctx) {
+    const std::uint32_t self = owner_of(ctx);
+    while (!try_gate(ctx, self)) {
+      wait_until(ctx,
+                 [this] { return gate_.load(std::memory_order_relaxed) == 0; });
+    }
+  }
+
+  // ---- reclaim ------------------------------------------------------
+
+  // ShmCombining::reclaim_dead with two sim adaptations: liveness is
+  // always injected (there are no real pids to probe), and the sweep
+  // takes the context so its gate CAS and per-slot frees are COUNTED
+  // steps — the explorer interleaves the sweep against live publishers
+  // instead of treating it as one indivisible action.
+  template <class Ctx, class Alive>
+  std::size_t reclaim_dead(Ctx& ctx, Alive&& alive) {
+    const std::uint32_t self = owner_of(ctx);
+    std::uint32_t holder = gate_.load(std::memory_order_acquire);
+    if (holder == 0) {
+      if (!gate_.compare_exchange_strong(holder, self,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        return 0;
+      }
+      ctx.on_rmw();
+    } else {
+      if (alive(holder)) return 0;
+      // Steal from the dead: the CAS fails if another reclaimer beat
+      // us to it.
+      if (!gate_.compare_exchange_strong(holder, self,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        return 0;
+      }
+      ctx.on_rmw();
+    }
+
+    std::size_t reclaimed = 0;
+    for (Slot& s : slots_) {
+      std::uint64_t w = s.word.load(std::memory_order_acquire);
+      const SlotState state = slot_state_of(w);
+      const std::uint32_t owner = slot_owner_of(w);
+      // kPending is exempt: the publication is complete, so the op
+      // executes on the next combine and the slot resurfaces here as a
+      // dead-owned kDone.
+      if (owner == 0 || state == SlotState::kFree ||
+          state == SlotState::kPending) {
+        continue;
+      }
+      if (alive(owner)) continue;
+      if (s.word.compare_exchange_strong(w, pack_slot(SlotState::kFree, 0),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+        ctx.on_rmw();
+        ++reclaimed;
+      }
+    }
+    release_gate();
+    return reclaimed;
+  }
+
+  // ---- inspection ---------------------------------------------------
+
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return count_in_state(SlotState::kPending);
+  }
+  [[nodiscard]] std::size_t occupied() const noexcept {
+    return kSlots - count_in_state(SlotState::kFree);
+  }
+  [[nodiscard]] std::uint32_t gate_holder() const noexcept {
+    return gate_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t slot_word(std::size_t i) const noexcept {
+    return slots_[i].word.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] Obj& object() noexcept { return obj_; }
+  [[nodiscard]] const Obj& object() const noexcept { return obj_; }
+
+ private:
+  template <class Ctx>
+  bool try_gate(Ctx& ctx, std::uint32_t self) {
+    std::uint32_t expected = 0;
+    if (gate_.load(std::memory_order_relaxed) == 0 &&
+        gate_.compare_exchange_strong(expected, self,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      ctx.on_rmw();
+      return true;
+    }
+    return false;
+  }
+  void release_gate() noexcept { gate_.store(0, std::memory_order_release); }
+
+  // Claims a free record, rotating from an owner-derived hint; parks
+  // while the array is exhausted. The ownership stamp rides in the
+  // claim CAS itself — the indivisibility the reclaim sweep depends
+  // on, and exactly what the seeded mutation severs.
+  template <class Ctx>
+  std::size_t claim(Ctx& ctx, std::uint32_t self) {
+    const std::uint32_t stamp = kMutateDropOwnerStamp ? 0 : self;
+    const std::size_t hint = static_cast<std::size_t>(self) % kSlots;
+    for (;;) {
+      for (std::size_t k = 0; k < kSlots; ++k) {
+        const std::size_t idx = hint + k < kSlots ? hint + k : hint + k - kSlots;
+        Slot& slot = slots_[idx];
+        std::uint64_t expected = pack_slot(SlotState::kFree, 0);
+        if (slot.word.load(std::memory_order_relaxed) == expected &&
+            slot.word.compare_exchange_strong(
+                expected, pack_slot(SlotState::kClaimed, stamp),
+                std::memory_order_acquire, std::memory_order_relaxed)) {
+          ctx.on_rmw();
+          return idx;
+        }
+      }
+      wait_until(ctx, [this] {
+        for (const Slot& s : slots_) {
+          if (s.word.load(std::memory_order_relaxed) ==
+              pack_slot(SlotState::kFree, 0)) {
+            return true;
+          }
+        }
+        return false;
+      });
+    }
+  }
+
+  template <class Ctx>
+  void publish(Ctx& ctx, std::size_t idx, const Request& m,
+               std::optional<SwitchValue> init, std::uint32_t self) {
+    Slot& slot = slots_[idx];
+    slot.request = m;
+    slot.has_init = init.has_value();
+    slot.init_value = init.value_or(SwitchValue{0});
+    ctx.on_write();
+    // The release publishes the plain writes above; the owner rides in
+    // the word so a reclaimer knows whose publication this is.
+    slot.word.store(pack_slot(SlotState::kPending, self),
+                    std::memory_order_release);
+  }
+
+  // One combiner pass (pre: gate held): snapshot pending slots, run
+  // the batch, publish results back preserving each publisher's owner
+  // stamp — a publisher that died waiting keeps its name on the kDone
+  // record, which is what makes it reclaimable.
+  template <class Ctx>
+  void combine(Ctx& ctx) {
+    std::array<OpSlot, kSlots> batch;
+    std::array<std::size_t, kSlots> source{};
+    std::array<std::uint32_t, kSlots> publisher{};
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      Slot& s = slots_[i];
+      const std::uint64_t w = s.word.load(std::memory_order_acquire);
+      if (slot_state_of(w) != SlotState::kPending) continue;
+      ctx.on_read();
+      batch[n].request = s.request;
+      batch[n].init = s.has_init ? std::optional<SwitchValue>(s.init_value)
+                                 : std::nullopt;
+      batch[n].done = false;
+      batch[n].completion = OpCompletion::kAttached;
+      source[n] = i;
+      publisher[n] = slot_owner_of(w);
+      ++n;
+    }
+    if (n == 0) return;
+
+    run_batch(obj_, ctx, std::span<OpSlot>(batch.data(), n));
+
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& s = slots_[source[i]];
+      s.result = batch[i].result;
+      ctx.on_write();
+      s.word.store(pack_slot(SlotState::kDone, publisher[i]),
+                   std::memory_order_release);
+    }
+  }
+
+  [[nodiscard]] std::size_t count_in_state(SlotState state) const noexcept {
+    std::size_t n = 0;
+    for (const Slot& s : slots_) {
+      if (slot_state_of(s.word.load(std::memory_order_acquire)) == state) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  std::array<Slot, kSlots> slots_{};
+  std::atomic<std::uint32_t> gate_{0};
+  Obj obj_{};
+};
+
+}  // namespace scm::sim

@@ -95,7 +95,32 @@ void Simulator::take_step(ProcessId pid, Access kind) {
   ++steps_;
 }
 
+void Simulator::await_cond(ProcessId pid, std::function<bool()> pred) {
+  Proc& me = *procs_[pid];
+  std::unique_lock lk(mu_);
+  me.wait_pred = std::move(pred);
+  me.state = State::kWaiting;
+  cv_.notify_all();
+  checked_wait(cv_, lk, [&] { return me.state == State::kGranted; },
+               "process awaiting condition");
+  me.state = State::kRunning;
+  me.wait_pred = nullptr;
+  if (me.crash_pending) {
+    lk.unlock();
+    throw Crashed{};
+  }
+  // The wake is a scheduling event the replayed tree must contain
+  // (otherwise two runs with different wake orders would replay
+  // identically), but not a shared-memory step: no counter bump.
+  step_log_.push_back(StepRecord{++event_seq_, pid, Access::kWake});
+  ++steps_;
+}
+
 void SimContext::take_step(Access kind) { sim_->take_step(id_, kind); }
+
+void SimContext::await(std::function<bool()> pred) {
+  sim_->await_cond(id_, std::move(pred));
+}
 
 void SimContext::begin_op(std::int64_t tag) { sim_->record_begin_op(id_, tag); }
 
@@ -132,8 +157,8 @@ void Simulator::await_quiescent(std::unique_lock<std::mutex>& lk) {
       cv_, lk,
       [&] {
         return std::all_of(procs_.begin(), procs_.end(), [](const auto& p) {
-          return p->state == State::kParked || p->state == State::kDone ||
-                 p->state == State::kCrashed;
+          return p->state == State::kParked || p->state == State::kWaiting ||
+                 p->state == State::kDone || p->state == State::kCrashed;
         });
       },
       "controller awaiting quiescence");
@@ -152,21 +177,45 @@ std::uint64_t Simulator::run(Schedule& schedule) {
   for (;;) {
     await_quiescent(lk);
 
+    // Runnable = parked at a step, or waiting with a satisfied
+    // predicate. Predicates run on the controller thread with every
+    // process quiescent, so they may peek shared state freely.
     runnable.clear();
+    bool any_blocked = false;
     for (std::size_t pid = 0; pid < procs_.size(); ++pid) {
-      if (procs_[pid]->state == State::kParked) {
+      Proc& p = *procs_[pid];
+      if (p.state == State::kParked) {
         runnable.push_back(static_cast<ProcessId>(pid));
+      } else if (p.state == State::kWaiting) {
+        if (p.wait_pred()) {
+          runnable.push_back(static_cast<ProcessId>(pid));
+        } else {
+          any_blocked = true;
+        }
       }
     }
-    if (runnable.empty()) break;  // everyone done or crashed
+    if (runnable.empty()) {
+      // Every live process waiting on a false predicate is a simulated
+      // deadlock (lost wakeup / wedged combiner). Loud failure: this is
+      // exactly the class of protocol bug the explorer exists to catch.
+      SCM_CHECK_MSG(!any_blocked,
+                    "simulated deadlock: every live process is parked in "
+                    "await() on a false predicate");
+      break;  // everyone done or crashed
+    }
 
     if (steps_ >= max_steps_) {
       // Out of budget: crash every remaining process so the run ends in
-      // a well-defined state; tests check hit_step_limit().
+      // a well-defined state; tests check hit_step_limit(). Waiting
+      // processes are woken too (even with false predicates) so their
+      // threads unwind instead of hanging the join below.
       hit_limit_ = true;
-      for (ProcessId pid : runnable) {
-        procs_[pid]->crash_pending = true;
-        procs_[pid]->state = State::kGranted;
+      for (std::size_t pid = 0; pid < procs_.size(); ++pid) {
+        Proc& p = *procs_[pid];
+        if (p.state == State::kParked || p.state == State::kWaiting) {
+          p.crash_pending = true;
+          p.state = State::kGranted;
+        }
       }
       cv_.notify_all();
       continue;
@@ -175,7 +224,8 @@ std::uint64_t Simulator::run(Schedule& schedule) {
     Schedule::View view{std::span<const ProcessId>(runnable), steps_, this};
     const ProcessId pick = schedule.next(view);
     SCM_CHECK_MSG(pick >= 0 && static_cast<std::size_t>(pick) < procs_.size() &&
-                      procs_[pick]->state == State::kParked,
+                      (procs_[pick]->state == State::kParked ||
+                       procs_[pick]->state == State::kWaiting),
                   "schedule picked a non-runnable process");
     if (schedule.should_crash(pick, view)) {
       procs_[pick]->crash_pending = true;

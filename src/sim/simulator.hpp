@@ -45,13 +45,23 @@ class Simulator;
 // exactly as the model prescribes: half-finished.
 struct Crashed {};
 
-enum class Access : std::uint8_t { kRead, kWrite, kRmw };
+// kWake is the grant that resumes a process parked in SimContext::await
+// — a scheduling event, not a shared-memory step in the paper's cost
+// model, so it appears in the step log (schedules see it, determinism
+// depends on it) but bumps no StepCounters field.
+enum class Access : std::uint8_t { kRead, kWrite, kRmw, kWake };
 
 // Execution context handed to a simulated process body. Satisfies the
 // scm::ExecutionContext concept, so the same algorithm templates run
 // here and on the native platform.
 class SimContext {
  public:
+  // Marker consumed by scm::wait_until (runtime/wait.hpp): this context
+  // supports conditional parking, so blocking layers (the combining
+  // wrappers' wait loops) park in await() instead of spinning — which
+  // is what makes the slot protocol explorable by sim::explore.
+  static constexpr bool kCanAwait = true;
+
   [[nodiscard]] ProcessId id() const noexcept { return id_; }
   [[nodiscard]] StepCounters& counters() noexcept { return counters_; }
 
@@ -67,6 +77,19 @@ class SimContext {
     take_step(Access::kRmw);
     ++counters_.rmws;
   }
+
+  // Conditional scheduling point: parks this process until `pred()`
+  // holds. The controller re-evaluates predicates between grants (all
+  // other processes quiescent, so a predicate may read shared atomics
+  // without taking steps), keeps the process out of the runnable set
+  // while false, and wakes it with a kWake grant once true — at which
+  // point the predicate is guaranteed still true, since nothing runs
+  // between the controller's check and the wake. This is the sim-side
+  // replacement for a native spin loop: the explored tree stays FINITE
+  // because a waiting process contributes no interleavings while its
+  // condition is false. If every live process is waiting on a false
+  // predicate the run aborts loudly — a simulated lost-wakeup deadlock.
+  void await(std::function<bool()> pred);
 
   // Operation markers. Not shared-memory steps; they stamp the global
   // event sequence so the simulator can compute per-operation step
@@ -171,6 +194,7 @@ class Simulator {
   enum class State : std::uint8_t {
     kUnstarted,  // thread not launched yet
     kParked,     // waiting at a scheduling point (or at startup)
+    kWaiting,    // parked in await(); runnable only while its pred holds
     kGranted,    // scheduler granted one step; thread is waking
     kRunning,    // executing user code exclusively
     kDone,       // body returned
@@ -182,6 +206,7 @@ class Simulator {
     std::unique_ptr<SimContext> ctx;
     std::thread thread;
     State state = State::kUnstarted;
+    std::function<bool()> wait_pred;  // valid while state == kWaiting
     bool crash_pending = false;
     bool started = false;  // has consumed its startup grant
     bool in_op = false;
@@ -190,6 +215,7 @@ class Simulator {
 
   void thread_main(ProcessId pid);
   void take_step(ProcessId pid, Access kind);
+  void await_cond(ProcessId pid, std::function<bool()> pred);
   void record_begin_op(ProcessId pid, std::int64_t tag);
   void record_end_op(ProcessId pid, std::int64_t output);
 

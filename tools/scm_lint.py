@@ -1,0 +1,459 @@
+#!/usr/bin/env python3
+"""scm_lint — repo-specific static checks for the scm codebase.
+
+Two rules, both about invariants the C++ type system cannot state:
+
+RULE 1: explicit memory orders (src/**).
+  Every std::atomic load/store/RMW must name its std::memory_order.
+  A defaulted order is seq_cst — correct but unreviewable: the reader
+  cannot tell a deliberate fence from an accident, and the codebase's
+  convention is that every order is an explicit, commented decision
+  (acquire/release protocol edges, relaxed telemetry).
+  compare_exchange calls must name BOTH orders (success and failure);
+  the one-order overload picks the failure order silently.
+
+  Skipped: calls whose first argument is a context (`ctx`, `c`) —
+  those are the repo's own platform primitives (NativeCounter::
+  fetch_add(ctx), SimRegister::load(ctx)...), not std::atomic.
+  Escape hatch: `// scm-lint: default-order-ok` on the call's first
+  line.
+
+RULE 2: address-free shm layer (src/shm/**).
+  The shared segment maps at a different virtual address in every
+  process, so segment-resident types must carry no process-local
+  addresses. Every struct/class defined under src/shm/ must either:
+    * be annotated `// scm-lint: process-local` in the comment block
+      right above it (handle types: ShmArena, LockGuard), or
+    * contain no pointer/reference/virtual/owning-container members
+      AND be covered by an SCM_ASSERT_ADDRESS_FREE(<name>...) somewhere
+      under src/ (the macro pins what the traits can check; this rule
+      pins the rest and that the macro is actually applied).
+
+Usage:
+  tools/scm_lint.py [--root DIR] [--self-test]
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+# ---------------------------------------------------------------------------
+# shared plumbing
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str) -> str:
+    """Replaces comments and string/char literals with spaces, preserving
+    every newline so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line | block | str | chr
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if ch == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                mode = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if ch == "'":
+                mode = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(ch)
+        elif mode == "line":
+            if ch == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if ch == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if ch == "\n" else " ")
+        else:  # str | chr
+            quote = '"' if mode == "str" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                mode = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if ch == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def balanced_args(text: str, open_paren: int) -> tuple[str, int] | None:
+    """Returns (argument text, end index) for the parenthesized list
+    starting at text[open_paren] == '(', or None if unbalanced."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1 : i], i
+    return None
+
+
+# ---------------------------------------------------------------------------
+# RULE 1: explicit memory orders
+
+ATOMIC_OPS = (
+    "load store exchange fetch_add fetch_sub fetch_or fetch_and fetch_xor "
+    "compare_exchange_strong compare_exchange_weak"
+).split()
+ATOMIC_CALL_RE = re.compile(r"\.(" + "|".join(ATOMIC_OPS) + r")\s*\(")
+# Contexts, not atomics: the repo's platform primitives take the
+# execution context as their first argument.
+CTX_FIRST_ARG_RE = re.compile(r"^\s*(ctx|c)\b")
+ORDER_TOKEN_RE = re.compile(r"\bmemory_order_\w+")
+IGNORE_MARK = "scm-lint: default-order-ok"
+
+
+def first_toplevel_arg(args: str) -> str:
+    depth = 0
+    for i, ch in enumerate(args):
+        if ch in "([{<":
+            depth += 1
+        elif ch in ")]}>":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            return args[:i]
+    return args
+
+
+def check_memory_orders(path: str, raw: str) -> list[Finding]:
+    text = strip_comments(raw)
+    raw_lines = raw.splitlines()
+    findings = []
+    for m in ATOMIC_CALL_RE.finditer(text):
+        op = m.group(1)
+        extracted = balanced_args(text, m.end() - 1)
+        if extracted is None:
+            continue  # unbalanced — macro soup; other tooling will choke too
+        args, _ = extracted
+        line = line_of(text, m.start())
+        if IGNORE_MARK in raw_lines[line - 1]:
+            continue
+        if CTX_FIRST_ARG_RE.match(first_toplevel_arg(args)):
+            continue  # platform primitive, not std::atomic
+        orders = len(ORDER_TOKEN_RE.findall(args))
+        needed = 2 if op.startswith("compare_exchange") else 1
+        if orders < needed:
+            what = (
+                "both success and failure std::memory_order"
+                if needed == 2
+                else "an explicit std::memory_order"
+            )
+            findings.append(
+                Finding(path, line, "memory-order",
+                        f".{op}() must name {what} "
+                        f"(found {orders}); defaulted seq_cst hides the "
+                        "protocol decision")
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RULE 2: address-free shm layer
+
+STRUCT_RE = re.compile(
+    r"\b(struct|class)\s+(?:alignas\s*\([^)]*\)\s*)?([A-Za-z_]\w*)"
+    r"(?:\s+final)?\s*(?::[^{;]*)?\{"
+)
+PROCESS_LOCAL_MARK = "scm-lint: process-local"
+MACRO_NAME = "SCM_ASSERT_ADDRESS_FREE"
+# Member declarations that smuggle process-local addresses into the
+# segment. Scanned only on paren-free lines ending in ';' (plain member
+# declarations) — member function signatures contain '(' and are the
+# business of the type traits, not this scan.
+BAD_MEMBER_PATTERNS = [
+    (re.compile(r"\*\s*\w+\s*(=|;|\{)"), "pointer member"),
+    (re.compile(r"&\s*\w+\s*(=|;|\{)"), "reference member"),
+    (re.compile(r"\bstd::(string|vector|deque|map|unordered_map|function|"
+                r"unique_ptr|shared_ptr|weak_ptr|optional|any|variant)\b"),
+     "owning/handle std:: member"),
+]
+VIRTUAL_RE = re.compile(r"\bvirtual\b")
+
+
+def body_end(text: str, open_brace: int) -> int:
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text)
+
+
+def is_annotated(raw: str, text: str, def_start: int) -> bool:
+    """True if the comment block immediately above the definition line
+    carries the process-local mark."""
+    def_line = line_of(text, def_start)  # 1-based
+    raw_lines = raw.splitlines()
+    i = def_line - 2  # 0-based index of the line above the definition
+    while i >= 0:
+        stripped = raw_lines[i].strip()
+        if stripped.startswith("//") or stripped.startswith("*") \
+                or stripped.startswith("/*"):
+            if PROCESS_LOCAL_MARK in stripped:
+                return True
+            i -= 1
+            continue
+        break
+    return False
+
+
+def check_shm_layout(path: str, raw: str, macro_corpus: str) -> list[Finding]:
+    text = strip_comments(raw)
+    findings = []
+    for m in STRUCT_RE.finditer(text):
+        name = m.group(2)
+        open_brace = text.index("{", m.start())
+        end = body_end(text, open_brace)
+        if is_annotated(raw, text, m.start()):
+            continue
+        body = text[open_brace + 1 : end]
+        base_line = line_of(text, open_brace)
+        # Member scan: direct member declaration lines only. Brace depth
+        # keeps us out of member-function bodies (local `Slot& s = ...`
+        # references are fine — they live on this process's stack) and
+        # paren depth skips multi-line signature continuations.
+        brace_depth = 0
+        paren_depth = 0
+        for off, body_ln in enumerate(body.split("\n")):
+            stripped = body_ln.strip()
+            lineno = base_line + off
+            at_member_level = brace_depth == 0 and paren_depth == 0
+            brace_depth += body_ln.count("{") - body_ln.count("}")
+            paren_depth += body_ln.count("(") - body_ln.count(")")
+            if not at_member_level:
+                continue
+            if VIRTUAL_RE.search(stripped):
+                findings.append(
+                    Finding(path, lineno, "address-free",
+                            f"'{name}': virtual member in a segment-resident "
+                            "type (vtable pointers are process-local)"))
+                continue
+            if "(" in stripped or not stripped.endswith((";", "{", "}")):
+                continue
+            for pat, what in BAD_MEMBER_PATTERNS:
+                if pat.search(stripped):
+                    findings.append(
+                        Finding(path, lineno, "address-free",
+                                f"'{name}': {what} in a segment-resident type "
+                                "(annotate '// scm-lint: process-local' if "
+                                "this type never enters the segment)"))
+        # Macro coverage: the type (or an instantiation of it) must be
+        # asserted address-free somewhere in the scanned tree.
+        if not re.search(MACRO_NAME + r"\s*\(\s*(?:[\w:]+::)?"
+                         + re.escape(name) + r"\b", macro_corpus) and \
+           not re.search(MACRO_NAME + r"\s*\([^)]*\b" + re.escape(name)
+                         + r"\s*<", macro_corpus):
+            findings.append(
+                Finding(path, line_of(text, m.start()), "address-free",
+                        f"'{name}' is defined under src/shm/ but never "
+                        f"covered by {MACRO_NAME} (or annotate it "
+                        "process-local)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# driver
+
+CPP_EXTS = (".hpp", ".cpp", ".h", ".cc")
+
+
+def collect(root: str) -> list[str]:
+    paths = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for fn in sorted(filenames):
+            if fn.endswith(CPP_EXTS):
+                paths.append(os.path.join(dirpath, fn))
+    return sorted(paths)
+
+
+def run_lint(src_root: str) -> list[Finding]:
+    paths = collect(src_root)
+    if not paths:
+        print(f"scm_lint: no C++ sources under {src_root}", file=sys.stderr)
+        sys.exit(2)
+    # The macro may be applied in a different file than the definition;
+    # coverage is checked against the whole scanned tree.
+    macro_corpus = "\n".join(
+        strip_comments(open(p, encoding="utf-8").read()) for p in paths)
+    findings: list[Finding] = []
+    shm_prefix = os.path.join(src_root, "shm") + os.sep
+    for p in paths:
+        raw = open(p, encoding="utf-8").read()
+        findings.extend(check_memory_orders(p, raw))
+        if p.startswith(shm_prefix):
+            findings.extend(check_shm_layout(p, raw, macro_corpus))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# self-test: prove the rules have teeth before trusting a clean run
+
+SELF_TESTS = [
+    # (name, rule fn flag, snippet, is_shm, expected finding count)
+    ("defaulted load flagged",
+     "order", "void f() { x.load(); }", 1),
+    ("defaulted multi-line store flagged",
+     "order", "void f() {\n  x.store(\n      42);\n}", 1),
+    ("explicit order passes",
+     "order", "void f() { x.load(std::memory_order_acquire); }", 0),
+    ("multi-line explicit order passes",
+     "order", "void f() {\n  x.store(v,\n      std::memory_order_release);\n}",
+     0),
+    ("cas with one order flagged",
+     "order",
+     "void f() { x.compare_exchange_strong(e, d,"
+     " std::memory_order_acq_rel); }", 1),
+    ("cas with both orders passes",
+     "order",
+     "void f() { x.compare_exchange_strong(e, d,\n"
+     "    std::memory_order_acq_rel, std::memory_order_relaxed); }", 0),
+    ("platform primitive (ctx first arg) skipped",
+     "order", "void f() { counter_.fetch_add(ctx, 1); }", 0),
+    ("order token inside comment does not count",
+     "order", "void f() { x.load(/* std::memory_order_acquire */); }", 1),
+    ("escape hatch honored",
+     "order", "void f() { x.load(); }  // scm-lint: default-order-ok", 0),
+    ("pointer member in shm struct flagged",
+     "shm", "struct S { void* base_ = nullptr; };\n"
+            "SCM_ASSERT_ADDRESS_FREE(S);", 1),
+    ("virtual member flagged",
+     "shm", "struct S { virtual void f(); };\n"
+            "SCM_ASSERT_ADDRESS_FREE(S);", 1),
+    ("std::string member flagged",
+     "shm", "struct S { std::string path_; };\n"
+            "SCM_ASSERT_ADDRESS_FREE(S);", 1),
+    ("missing macro coverage flagged",
+     "shm", "struct S { std::uint64_t off = 0; };", 1),
+    ("clean struct with macro passes",
+     "shm", "struct S { std::uint64_t off = 0; };\n"
+            "SCM_ASSERT_ADDRESS_FREE(S);", 0),
+    ("template instantiation counts as coverage",
+     "shm", "template <class T> struct S { std::uint64_t off = 0; };\n"
+            "SCM_ASSERT_ADDRESS_FREE(S<int>);", 0),
+    ("process-local annotation exempts",
+     "shm", "// the handle, lives on this process's stack\n"
+            "// scm-lint: process-local\n"
+            "class S { void* base_ = nullptr; };", 0),
+    ("method signatures are not members",
+     "shm", "struct S { std::uint64_t off = 0;\n"
+            "  int* get(Arena& a) const; };\n"
+            "SCM_ASSERT_ADDRESS_FREE(S);", 0),
+    ("local reference inside a method body is not a member",
+     "shm", "struct S {\n"
+            "  std::uint64_t off = 0;\n"
+            "  void f() {\n"
+            "    Slot& s = slots_[0];\n"
+            "  }\n"
+            "};\n"
+            "SCM_ASSERT_ADDRESS_FREE(S);", 0),
+    ("signature continuation line is not a member",
+     "shm", "struct S {\n"
+            "  void f(int a,\n"
+            "         std::optional<int> b = std::nullopt) {}\n"
+            "  std::uint64_t off = 0;\n"
+            "};\n"
+            "SCM_ASSERT_ADDRESS_FREE(S);", 0),
+    ("namespace-qualified macro arg counts as coverage",
+     "shm", "struct S { std::uint64_t off = 0; };\n"
+            "SCM_ASSERT_ADDRESS_FREE(detail::S);", 0),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for name, rule, snippet, expected in SELF_TESTS:
+        if rule == "order":
+            got = check_memory_orders("<self-test>", snippet)
+        else:
+            got = check_shm_layout("<self-test>", snippet,
+                                   strip_comments(snippet))
+        if len(got) != expected:
+            failures += 1
+            print(f"SELF-TEST FAIL: {name}: expected {expected} finding(s), "
+                  f"got {len(got)}:", file=sys.stderr)
+            for f in got:
+                print(f"    {f}", file=sys.stderr)
+    if failures:
+        print(f"scm_lint self-test: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"scm_lint self-test: all {len(SELF_TESTS)} checks behave")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="source root to scan (default: <repo>/src)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the rules flag known-bad snippets")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root
+    if root is None:
+        root = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src")
+    findings = run_lint(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"scm_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("scm_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
