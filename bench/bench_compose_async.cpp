@@ -35,6 +35,10 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "bench/registry.hpp"
 #include "bench/scenario.hpp"
 #include "core/async.hpp"
@@ -42,12 +46,32 @@
 #include "core/pipeline.hpp"
 #include "core/sharding.hpp"
 #include "runtime/platform.hpp"
+#include "support/parking.hpp"
 #include "support/stats.hpp"
 
 namespace {
 
 using namespace scm;
 using namespace scm::bench;
+
+// Process CPU time (user + system, all threads) — the denominator of
+// the cpu_ns_per_op extra. Wall-clock throughput can look fine while
+// oversubscribed spin-waits burn whole cores; this is the number the
+// CI oversubscription job puts a ceiling on, and the number futex
+// parking is meant to shrink. 0 where the platform cannot say.
+double cpu_seconds_now() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  const auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) +
+           static_cast<double>(t.tv_usec) * 1e-6;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+#else
+  return 0.0;
+#endif
+}
 
 constexpr std::size_t kCombineSlots = 16;
 constexpr std::size_t kDepth = 4;
@@ -122,6 +146,7 @@ void run_cell(std::string name, int threads, std::uint64_t ops,
               ScenarioResult& result, std::uint64_t& mismatches,
               std::uint64_t& accounting_gaps) {
   std::atomic<std::uint64_t> bad{0};
+  const double cpu0 = cpu_seconds_now();
   const workload::OpenLoopResult r = workload::run_open_loop(
       threads, ops, window,
       [&](NativeContext& ctx, std::uint64_t i) {
@@ -133,6 +158,7 @@ void run_cell(std::string name, int threads, std::uint64_t ops,
           bad.fetch_add(1, std::memory_order_relaxed);
         }
       });
+  const double cpu1 = cpu_seconds_now();
   mismatches += bad.load(std::memory_order_relaxed);
   if (sink_total() != r.total_ops) ++accounting_gaps;
   // Completion accounting: the open-loop driver harvested exactly one
@@ -151,6 +177,10 @@ void run_cell(std::string name, int threads, std::uint64_t ops,
   pm.extra["lat_mean_ns"] = lat.mean();
   pm.extra["lat_p50_ns"] = lat.percentile(50.0);
   pm.extra["lat_p99_ns"] = lat.percentile(99.0);
+  pm.extra["cpu_ns_per_op"] =
+      r.total_ops == 0 ? 0.0
+                       : (cpu1 - cpu0) * 1e9 /
+                             static_cast<double>(r.total_ops);
   result.phases.push_back(std::move(pm));
 }
 
@@ -217,6 +247,7 @@ ScenarioResult run(const BenchParams& params) {
   ScenarioResult result;
   std::uint64_t mismatches = 0;
   std::uint64_t accounting_gaps = 0;
+  std::uint64_t fastpath_syscall_leaks = 0;
 
   std::vector<int> thread_points{1};
   if (params.threads > 1) thread_points.push_back(params.threads);
@@ -261,10 +292,16 @@ ScenarioResult run(const BenchParams& params) {
                  t, params.ops, window, cell, sink_total, result, mismatches,
                  accounting_gaps);
         std::uint64_t rounds = 0, batched = 0, fastpath = 0;
+        ParkStats parked;
         for (std::size_t s = 0; s < S; ++s) {
           rounds += cell.shard(s).combine_rounds();
           batched += cell.shard(s).combined_ops();
           fastpath += cell.shard(s).direct_ops();
+          const ParkStats ps = cell.shard(s).park_stats();
+          parked.parks += ps.parks;
+          parked.wakes += ps.wakes;
+          parked.spurious_wakes += ps.spurious_wakes;
+          parked.futex_syscalls += ps.futex_syscalls;
         }
         PhaseMetrics& pm = result.phases.back();
         pm.extra["combining"] = 1.0;
@@ -277,6 +314,23 @@ ScenarioResult run(const BenchParams& params) {
             pm.ops == 0 ? 0.0
                         : static_cast<double>(fastpath) /
                               static_cast<double>(pm.ops);
+        // Parking telemetry (support/parking.hpp): rung-3 escalations
+        // and the kernel traffic they cost, summed over shards.
+        pm.extra["parks"] = static_cast<double>(parked.parks);
+        pm.extra["wakes"] = static_cast<double>(parked.wakes);
+        pm.extra["spurious_wakes"] =
+            static_cast<double>(parked.spurious_wakes);
+        pm.extra["futex_syscalls"] = static_cast<double>(parked.futex_syscalls);
+        // Fast-path purity gate: a cell whose every op took the
+        // uncontended direct path never published, never contended the
+        // combiner lock, and so had nothing to park on — any futex
+        // syscall here means the parking rung leaked into the fast
+        // path. This is the scale-robust form of the "uncontended fast
+        // path untouched" acceptance criterion.
+        if (pm.ops != 0 && fastpath == pm.ops &&
+            parked.futex_syscalls != 0) {
+          ++fastpath_syscall_leaks;
+        }
       }
     }
   };
@@ -291,8 +345,10 @@ ScenarioResult run(const BenchParams& params) {
       "detached submissions all execute and run their callbacks after "
       "drain(); every open-loop op commits its full-walk hop count on "
       "exactly one shard, per-shard sink totals sum to the offered "
-      "load, and completion-latency samples account for every op";
-  result.claim_holds = mismatches == 0 && accounting_gaps == 0 && probes_ok;
+      "load, completion-latency samples account for every op, and "
+      "all-fast-path cells issue zero futex syscalls";
+  result.claim_holds = mismatches == 0 && accounting_gaps == 0 &&
+                       fastpath_syscall_leaks == 0 && probes_ok;
   return result;
 }
 

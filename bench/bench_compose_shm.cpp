@@ -25,6 +25,18 @@
 //     finish before the signal lands; the phase then degrades to a
 //     second exact-equivalence check (recorded in extra.victim_killed)
 //     rather than reporting a vacuous pass.
+//   stall — one client, and the server sleeps ~100ms after releasing
+//     the start barrier before serving. The client's first op outlives
+//     the whole spin/yield ladder, so it must escalate to the shared
+//     futex word (rung 3) instead of burning its core — gated on the
+//     segment-resident park counter being nonzero (parks are counted
+//     under the yield fallback too, so the gate holds in both build
+//     modes), on top of the exact-equivalence gates.
+//
+// All phases surface the combiner's parking telemetry
+// (parks/wakes/spurious_wakes/futex_syscalls) as extra columns; the
+// counters live inside the shared segment, so they aggregate across
+// every attached process.
 //
 // Wall-clock starts when the server releases the start barrier (all
 // clients attached and parked) and stops when the last live client
@@ -48,8 +60,10 @@
 #include <chrono>
 #include <cstdint>
 #include <optional>
+#include <thread>
 
 #include "runtime/context.hpp"
+#include "support/parking.hpp"
 #endif
 
 namespace {
@@ -108,6 +122,7 @@ struct PhaseOutcome {
   std::uint64_t executed = 0;  // final counter value
   std::uint64_t reclaimed = 0;
   bool victim_killed = false;
+  ParkStats parking;  // segment-resident, so cross-process totals
 
   void fail(const std::string& gate) {
     if (ok) why = gate;
@@ -120,8 +135,8 @@ struct PhaseOutcome {
 // built (treated as a failed claim by the caller).
 std::optional<PhaseOutcome> run_phase(const std::string& segment, int procs,
                                       std::uint64_t ops,
-                                      std::uint64_t segment_bytes,
-                                      bool crash) {
+                                      std::uint64_t segment_bytes, bool crash,
+                                      int stall_ms = 0) {
   // Defensive: a previous crashed run may have leaked the name.
   ShmArena::unlink(segment);
   std::string err;
@@ -181,6 +196,12 @@ std::optional<PhaseOutcome> run_phase(const std::string& segment, int procs,
   }
   const auto t0 = clock_type::now();
   if (out.ok) start.arrive_and_wait();  // release the run
+  if (out.ok && stall_ms > 0) {
+    // Stall injection: the clients are running, their first ops are
+    // published, and nobody serves — long enough that their wait
+    // escalates past the whole spin/yield ladder into a park.
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
 
   // Serve until every child has exited. The server is the only
   // combiner (clients publish with may_combine = false).
@@ -272,6 +293,7 @@ std::optional<PhaseOutcome> run_phase(const std::string& segment, int procs,
     }
   }
 
+  out.parking = comb.park_stats();
   ShmArena::unlink(segment);
   return out;
 }
@@ -288,11 +310,12 @@ ScenarioResult run(const BenchParams& params) {
 
   bool ok = true;
   std::string why;
-  const auto record = [&](const char* name, std::uint64_t offered_ops,
+  const auto record = [&](const char* name, int phase_procs,
+                          std::uint64_t offered_ops,
                           const std::optional<PhaseOutcome>& out,
                           bool crash) {
     PhaseMetrics pm;
-    pm.phase = std::string(name) + " procs=" + std::to_string(procs);
+    pm.phase = std::string(name) + " procs=" + std::to_string(phase_procs);
     if (!out.has_value()) {
       ok = false;
       if (why.empty()) why = "segment setup failed";
@@ -301,11 +324,17 @@ ScenarioResult run(const BenchParams& params) {
     }
     pm.ops = out->executed;
     pm.seconds = out->seconds;
-    pm.extra["procs"] = static_cast<double>(procs);
+    pm.extra["procs"] = static_cast<double>(phase_procs);
     pm.extra["offered_ops"] = static_cast<double>(offered_ops);
     pm.extra["crash"] = crash ? 1.0 : 0.0;
     pm.extra["victim_killed"] = out->victim_killed ? 1.0 : 0.0;
     pm.extra["reclaimed_slots"] = static_cast<double>(out->reclaimed);
+    pm.extra["parks"] = static_cast<double>(out->parking.parks);
+    pm.extra["wakes"] = static_cast<double>(out->parking.wakes);
+    pm.extra["spurious_wakes"] =
+        static_cast<double>(out->parking.spurious_wakes);
+    pm.extra["futex_syscalls"] =
+        static_cast<double>(out->parking.futex_syscalls);
     result.phases.push_back(std::move(pm));
     if (!out->ok) {
       ok = false;
@@ -315,16 +344,29 @@ ScenarioResult run(const BenchParams& params) {
 
   const auto exact = run_phase(base + "-a", procs, params.ops,
                                params.shm_segment_bytes, /*crash=*/false);
-  record("exact", static_cast<std::uint64_t>(procs) * params.ops, exact,
-         false);
+  record("exact", procs, static_cast<std::uint64_t>(procs) * params.ops,
+         exact, false);
 
   // Crash phase: more ops per client so the victim is still mid-run
   // when the signal lands even at smoke-test sizes.
   const std::uint64_t crash_ops = params.ops * 4;
   const auto crashed = run_phase(base + "-b", procs, crash_ops,
                                  params.shm_segment_bytes, /*crash=*/true);
-  record("crash", static_cast<std::uint64_t>(procs) * crash_ops, crashed,
-         true);
+  record("crash", procs, static_cast<std::uint64_t>(procs) * crash_ops,
+         crashed, true);
+
+  // Stall phase: one client against a server that sleeps 100ms before
+  // serving. The client MUST park (spinning for 100ms would also pass
+  // the counting gates — the park counter is what distinguishes a
+  // waiter that yielded its core from one that burned it).
+  const auto stalled = run_phase(base + "-c", /*procs=*/1, params.ops,
+                                 params.shm_segment_bytes, /*crash=*/false,
+                                 /*stall_ms=*/100);
+  record("stall", 1, params.ops, stalled, false);
+  if (stalled.has_value() && stalled->ok && stalled->parking.parks == 0) {
+    ok = false;
+    if (why.empty()) why = "stalled client never parked";
+  }
 
   result.claim =
       "independent processes attach by name and funnel through one "
@@ -332,7 +374,8 @@ ScenarioResult run(const BenchParams& params) {
       "procs * ops, every client's started == completed == ops), and with "
       "one client SIGKILLed mid-run the counts still reconcile "
       "(sum completed <= counter <= sum started), the dead client's slots "
-      "are reclaimed, and the run completes" +
+      "are reclaimed, and the run completes; a client facing a stalled "
+      "server parks instead of spinning" +
       (why.empty() ? std::string() : " [failed: " + why + "]");
   result.claim_holds = ok;
   return result;

@@ -45,6 +45,11 @@ void print_usage() {
       "  --seed=N           base RNG seed                     (default 42)\n"
       "  --pin              pin scm-worker-N threads to cores (native\n"
       "                     scenarios; recorded in the JSON report)\n"
+      "  --topology=MODE    worker placement: none | pin | compact |\n"
+      "                     spread — compact fills one L3/NUMA domain\n"
+      "                     before the next, spread round-robins across\n"
+      "                     domains (sysfs topology; recorded in the JSON\n"
+      "                     report with the detected domain count)\n"
       "  --shm-role=ROLE    cross-process composition (compose.shm):\n"
       "                     server = run only compose.shm (it forks the\n"
       "                     clients itself); client = internal worker role\n"
@@ -123,6 +128,8 @@ int main(int argc, char** argv) {
       params.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (arg == "--pin") {
       params.pin = true;
+    } else if (parse_flag(arg, "--topology", &value)) {
+      params.topology = value;
     } else if (parse_flag(arg, "--shm-role", &value)) {
       shm_role = value;
     } else if (parse_flag(arg, "--shm-name", &value)) {
@@ -187,7 +194,23 @@ int main(int argc, char** argv) {
                  params.schedule.c_str());
     return 2;
   }
-  workload::set_pin_workers(params.pin);
+  // Placement: --topology wins over the plain --pin boolean ("pin" is
+  // its sequential mode); both are recorded in the JSON params.
+  if (params.topology == "none") {
+    workload::set_pin_workers(params.pin);
+  } else if (params.topology == "pin") {
+    workload::set_pin_workers(workload::PinMode::kSequential);
+  } else if (params.topology == "compact") {
+    workload::set_pin_workers(workload::PinMode::kCompact);
+  } else if (params.topology == "spread") {
+    workload::set_pin_workers(workload::PinMode::kSpread);
+  } else {
+    std::fprintf(stderr,
+                 "unknown --topology=%s (want none | pin | compact | "
+                 "spread)\n",
+                 params.topology.c_str());
+    return 2;
+  }
 
   const std::vector<ScenarioDef> defs = sorted_registry();
   if (list_only) {

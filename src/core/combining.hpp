@@ -45,9 +45,12 @@
 //
 // Platform note: publishers BLOCK on the combiner's progress, but the
 // blocking points all go through the wait_until() seam
-// (runtime/wait.hpp): native contexts spin with the shared backoff
-// ladder exactly as before, while the deterministic simulator parks
-// the process on a wait predicate — so the ENTIRE slot protocol runs
+// (runtime/wait.hpp): native contexts climb the spin → yield → park
+// ladder against the wrapper's WaitPoint (support/parking.hpp) — the
+// combiner issues one batched wake per drained slot set, and the
+// uncontended fast path performs no futex syscall at all — while the
+// deterministic simulator parks the process on a wait predicate
+// (ignoring the WaitPoint) — so the ENTIRE slot protocol runs
 // under SimPlatform and sim::explore enumerates its interleavings
 // (slot_protocol_explore_test checks linearizability and zero slot
 // residue over every schedule of 2-3 processes). Like SpinBarrier, the
@@ -84,6 +87,7 @@
 #include "support/assert.hpp"
 #include "support/backoff.hpp"
 #include "support/cacheline.hpp"
+#include "support/parking.hpp"
 
 namespace scm {
 
@@ -188,10 +192,13 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     for (;;) {
       if (slot.status.load(std::memory_order_acquire) == kDone) break;
       if (help_combine(ctx)) continue;
-      wait_until(ctx, [this, &slot] {
-        return slot.status.load(std::memory_order_relaxed) == kDone ||
-               !lock_.value.load(std::memory_order_relaxed);
-      });
+      wait_until(
+          ctx,
+          [this, &slot] {
+            return slot.status.load(std::memory_order_relaxed) == kDone ||
+                   !lock_.value.load(std::memory_order_relaxed);
+          },
+          waiters_.value);
     }
     return collect(ctx, *idx);
   }
@@ -213,14 +220,16 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     for (const OpSlot& slot : batch) live += slot.done ? 0 : 1;
     if (live == 0) return;
     while (!try_lock(ctx)) {
-      wait_until(ctx, [this] {
-        return !lock_.value.load(std::memory_order_relaxed);
-      });
+      wait_until(
+          ctx,
+          [this] { return !lock_.value.load(std::memory_order_relaxed); },
+          waiters_.value);
     }
     run_batch(obj_.value, ctx, batch);
     direct_ops_.fetch_add(live, std::memory_order_relaxed);
     combine(ctx);
     lock_.value.store(false, std::memory_order_release);
+    waiters_.value.wake_all();
   }
 
   // ---- async surface (core/async.hpp).
@@ -302,10 +311,14 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
       // zero observation carries every served op's effects with it.
       while (pending_hint_.value.load(std::memory_order_acquire) != 0) {
         if (help_combine(ctx)) continue;
-        wait_until(ctx, [this] {
-          return pending_hint_.value.load(std::memory_order_relaxed) == 0 ||
-                 !lock_.value.load(std::memory_order_relaxed);
-        });
+        wait_until(
+            ctx,
+            [this] {
+              return pending_hint_.value.load(std::memory_order_relaxed) ==
+                         0 ||
+                     !lock_.value.load(std::memory_order_relaxed);
+            },
+            waiters_.value);
       }
     } else {
       (void)ctx;
@@ -335,6 +348,15 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
   // publication). direct_ops() + combined_ops() == total invocations.
   [[nodiscard]] std::uint64_t direct_ops() const noexcept {
     return direct_ops_.load(std::memory_order_relaxed);
+  }
+
+  // Park/wake telemetry from the wrapper's WaitPoint (rung-3 waits).
+  // futex_syscalls stays zero as long as every operation completed
+  // before any waiter's backoff ladder saturated — in particular, a
+  // pure fast-path run performs NO futex syscalls (compose.async
+  // asserts exactly that for its fastpath_share == 1 phases).
+  [[nodiscard]] ParkStats park_stats() const noexcept {
+    return waiters_.value.stats();
   }
 
   // Publication records not currently kFree — the slot-residue probe
@@ -434,6 +456,10 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     if (!try_lock(ctx)) return false;
     combine(ctx);
     lock_.value.store(false, std::memory_order_release);
+    // One batched wake per drained slot set: covers every waiter class
+    // at once — slots that turned kDone above, lock-waiters, and
+    // drain()ers that saw the pending count hit zero.
+    waiters_.value.wake_all();
     return true;
   }
 
@@ -461,6 +487,9 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     direct_ops_.fetch_add(1, std::memory_order_relaxed);
     combine(ctx);
     lock_.value.store(false, std::memory_order_release);
+    // Uncontended cost of this wake: one fence + one relaxed load —
+    // no RMW, no syscall unless somebody actually parked.
+    waiters_.value.wake_all();
     return r;
   }
 
@@ -563,20 +592,24 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
       // Nothing claimable and the lock is held: park until a record
       // (the routed one for load-tracking policies, any for stateless
       // ones) frees or the lock does, then retry the races above.
-      wait_until(ctx, [this, hint] {
-        if (!lock_.value.load(std::memory_order_relaxed)) return true;
-        if constexpr (requires(Policy& p) { p.on_complete(hint); }) {
-          return slots_[hint].value.status.load(std::memory_order_relaxed) ==
-                 kFree;
-        } else {
-          for (const auto& padded : slots_) {
-            if (padded.value.status.load(std::memory_order_relaxed) == kFree) {
-              return true;
+      wait_until(
+          ctx,
+          [this, hint] {
+            if (!lock_.value.load(std::memory_order_relaxed)) return true;
+            if constexpr (requires(Policy& p) { p.on_complete(hint); }) {
+              return slots_[hint].value.status.load(
+                         std::memory_order_relaxed) == kFree;
+            } else {
+              for (const auto& padded : slots_) {
+                if (padded.value.status.load(std::memory_order_relaxed) ==
+                    kFree) {
+                  return true;
+                }
+              }
+              return false;
             }
-          }
-          return false;
-        }
-      });
+          },
+          waiters_.value);
     }
   }
 
@@ -612,6 +645,10 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     ctx.on_read();
     const ModuleResult r = slot.result;
     slot.status.store(kFree, std::memory_order_release);
+    // A freed record is what claim_or_run's exhaustion wait is parked
+    // on; collect runs on the publisher (the slow path already), so
+    // the wake's fence rides an existing round trip.
+    waiters_.value.wake_all();
     if constexpr (requires(Policy& p) { p.on_complete(idx); }) {
       policy_.on_complete(idx);
     }
@@ -649,10 +686,13 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     for (;;) {
       if (s.status.load(std::memory_order_acquire) == kDone) break;
       if (self->help_combine(c)) continue;
-      wait_until(c, [self, &s] {
-        return s.status.load(std::memory_order_relaxed) == kDone ||
-               !self->lock_.value.load(std::memory_order_relaxed);
-      });
+      wait_until(
+          c,
+          [self, &s] {
+            return s.status.load(std::memory_order_relaxed) == kDone ||
+                   !self->lock_.value.load(std::memory_order_relaxed);
+          },
+          self->waiters_.value);
     }
     *out = self->collect(c, idx);
   }
@@ -726,6 +766,10 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
   std::array<Padded<Slot>, kSlots> slots_;
   Padded<std::atomic<bool>> lock_{};  // combiner election (TAS)
   Padded<std::atomic<std::uint64_t>> pending_hint_{};
+  // Rung-3 parking for every wait loop above (process-private futex).
+  // One point for the whole wrapper: wakes are per-combine-pass, not
+  // per-slot, so a finer grain would buy nothing but syscalls.
+  Padded<WaitPoint<>> waiters_{};
   Padded<Obj> obj_;
   std::atomic<std::uint64_t> rounds_{0};
   std::atomic<std::uint64_t> batched_ops_{0};

@@ -48,6 +48,7 @@
 #include "runtime/ids.hpp"
 #include "support/assert.hpp"
 #include "support/cacheline.hpp"
+#include "support/topology.hpp"
 
 namespace scm {
 
@@ -113,6 +114,27 @@ struct RoundRobin {
   // out right after the shard array), and that neighbor's readers would
   // take a miss on every routed op.
   Padded<std::atomic<std::uint64_t>> next_{};
+};
+
+// Topology-affine routing: every thread running in the same L3/NUMA
+// domain (support/topology.hpp) reaches the same shard, so a shard's
+// cache lines stay resident in ONE last-level cache instead of
+// bouncing across packages — the domain-aligned placement half of the
+// sharding story (pin workers per domain with workload's
+// PinMode::kCompact/kSpread and each shard becomes domain-local).
+// Deterministic given thread placement: pinned workers never migrate,
+// so their domain — and therefore their shard — is fixed for the run;
+// unpinned threads re-sample their domain periodically and may
+// migrate, which costs affinity, never correctness. On machines where
+// sysfs reports a single domain (or reports nothing) every operation
+// routes to shard 0 — the explicit degradation to "one shared object",
+// matching the topology's single-domain fallback.
+struct ByDomain {
+  template <class Ctx>
+  std::size_t operator()(Ctx& /*ctx*/, const Request& /*m*/,
+                         std::size_t shards) const noexcept {
+    return static_cast<std::size_t>(current_domain()) % shards;
+  }
 };
 
 // Approximate least-loaded routing: each shard has a padded in-flight

@@ -11,11 +11,18 @@
 //     shared backoff ladder — exactly the wait the native wrappers
 //     always performed, minus the per-iteration lock hammering (the
 //     caller re-attempts its RMW only after the predicate turns true,
-//     a test-and-test-and-set discipline).
+//     a test-and-test-and-set discipline). The overload taking a
+//     WaitPoint adds the third rung: once the ladder saturates, the
+//     waiter parks on the point's futex word and a waker's wake_all()
+//     resumes it (support/parking.hpp) — spin, then yield, then sleep.
 //   * SimContext (kCanAwait): park in SimContext::await. The scheduler
 //     excludes the process from the runnable set until the predicate
 //     holds, so sim::explore's interleaving tree stays finite and a
-//     lost wakeup surfaces as a loud simulated deadlock.
+//     lost wakeup surfaces as a loud simulated deadlock. The WaitPoint
+//     overload routes sim contexts to the SAME await call and never
+//     touches the point — the simulator's park already is rung 3, and
+//     the interleaving tree must not depend on native wait plumbing
+//     (slot_protocol_explore_test pins the schedule counts).
 //
 // Contract for callers: the predicate must be a pure condition over
 // shared state (no side effects, no steps — it may be evaluated by the
@@ -28,6 +35,7 @@
 #include <utility>
 
 #include "support/backoff.hpp"
+#include "support/parking.hpp"
 
 namespace scm {
 
@@ -55,7 +63,22 @@ void wait_until(Ctx& ctx, Pred&& pred) {
   } else {
     (void)ctx;
     int spins = 0;
-    while (!pred()) spin_backoff(spins);
+    while (!pred()) (void)spin_backoff(spins);
+  }
+}
+
+// The parking variant: native contexts escalate spin → yield → park on
+// `wp` once the backoff ladder saturates; the waker responsible for
+// the predicate must call wp.wake_all() after its state change.
+// Awaitable contexts ignore the WaitPoint entirely (see file comment).
+template <class Ctx, class Pred, FutexScope kScope, WaitMode kMode>
+void wait_until(Ctx& ctx, Pred&& pred, WaitPoint<kScope, kMode>& wp) {
+  if constexpr (detail::context_can_await_v<Ctx>) {
+    (void)wp;
+    ctx.await(std::forward<Pred>(pred));
+  } else {
+    (void)ctx;
+    parked_wait(wp, pred);
   }
 }
 

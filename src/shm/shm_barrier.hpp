@@ -11,9 +11,16 @@
 // differences are exactly the shm constraints: standard layout, no
 // const member (the object is placement-constructed into the segment
 // by the server and merely looked at by clients), and the wait loop
-// paces itself with spin_backoff — a cross-process wait routinely
-// spans a scheduling quantum, where SpinBarrier's bare spin is tuned
-// for same-address-space alignment right before a measurement.
+// climbs the full spin → yield → park ladder against a process-shared
+// futex (support/parking.hpp) — a cross-process wait routinely spans a
+// scheduling quantum (clients park at the barrier while the server
+// finishes setup), where SpinBarrier's bare spin is tuned for
+// same-address-space alignment right before a measurement.
+//
+// The futex word is SEPARATE from the count+generation u64: the kernel
+// waits on exactly 4 bytes, and half of a torn u64 is not a protocol
+// state — so waiters park on the WaitPoint's own epoch word and the
+// last arriver's generation store + wake_all() resumes them.
 #pragma once
 
 #include <atomic>
@@ -21,6 +28,7 @@
 
 #include "shm/shm_layout.hpp"
 #include "support/backoff.hpp"
+#include "support/parking.hpp"
 
 namespace scm {
 
@@ -49,13 +57,13 @@ class ShmSpinBarrier {
     if ((prev & kCountMask) + 1 == parties_) {
       state_.store((generation + 1) << kGenerationShift,
                    std::memory_order_release);
+      futex_waiters_.wake_all();
       return;
     }
-    int spins = 0;
-    while ((state_.load(std::memory_order_acquire) >> kGenerationShift) ==
-           generation) {
-      spin_backoff(spins);
-    }
+    parked_wait(futex_waiters_, [this, generation] {
+      return (state_.load(std::memory_order_acquire) >> kGenerationShift) !=
+             generation;
+    });
   }
 
  private:
@@ -65,6 +73,7 @@ class ShmSpinBarrier {
   std::uint32_t parties_ = 0;
   std::uint32_t pad_ = 0;
   std::atomic<std::uint64_t> state_{0};
+  WaitPoint<FutexScope::kShared> futex_waiters_{};
 };
 
 SCM_ASSERT_ADDRESS_FREE(ShmSpinBarrier);

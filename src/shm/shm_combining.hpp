@@ -74,10 +74,12 @@
 #include "core/slot_protocol.hpp"
 #include "history/request.hpp"
 #include "runtime/ids.hpp"
+#include "runtime/wait.hpp"
 #include "shm/shm_layout.hpp"
 #include "support/assert.hpp"
 #include "support/backoff.hpp"
 #include "support/cacheline.hpp"
+#include "support/parking.hpp"
 
 namespace scm {
 
@@ -123,11 +125,15 @@ class ShmCombining {
   // disagree in any way fail fast at resolve time.
   static constexpr std::uint32_t kTypeTag = [] {
     std::uint32_t h = 2166136261u;  // FNV-1a
+    // sizeof(WaitPoint) folds the parking-word layout in: a binary
+    // without the shared futex member (or with different telemetry
+    // counters) maps the object differently and must not attach.
     for (std::uint64_t v :
          {std::uint64_t{kSlotProtocolVersion}, std::uint64_t{kSlots},
           std::uint64_t{sizeof(Obj)}, std::uint64_t{alignof(Obj)},
           std::uint64_t{sizeof(Slot)}, std::uint64_t{sizeof(Request)},
-          std::uint64_t{sizeof(ModuleResult)}}) {
+          std::uint64_t{sizeof(ModuleResult)},
+          std::uint64_t{sizeof(WaitPoint<FutexScope::kShared>)}}) {
       for (int b = 0; b < 8; ++b) {
         h ^= static_cast<std::uint32_t>((v >> (8 * b)) & 0xff);
         h *= 16777619u;
@@ -174,7 +180,6 @@ class ShmCombining {
     slot.word.store(pack_slot(SlotState::kPending, self),
                     std::memory_order_release);
 
-    int spins = 0;
     while (slot_state_of(slot.word.load(std::memory_order_acquire)) !=
            SlotState::kDone) {
       if (may_combine && try_gate(ctx, self)) {
@@ -182,12 +187,26 @@ class ShmCombining {
         release_gate();
         continue;
       }
-      spin_backoff(spins);
+      // Rung-3 wait on the segment's shared futex: a may_combine=false
+      // client under a descheduled server PARKS here instead of
+      // burning its timeslice against a gate nobody is serving — the
+      // serving combiner's release_gate() wake resumes it.
+      wait_until(
+          ctx,
+          [this, &slot, may_combine] {
+            return slot_state_of(slot.word.load(std::memory_order_relaxed)) ==
+                       SlotState::kDone ||
+                   (may_combine &&
+                    gate_.load(std::memory_order_relaxed) == 0);
+          },
+          futex_waiters_);
     }
     ctx.on_read();
     const ModuleResult r = slot.result;
     slot.word.store(pack_slot(SlotState::kFree, 0),
                     std::memory_order_release);
+    // A freed record is what claim()'s exhaustion wait parks on.
+    futex_waiters_.wake_all();
     return r;
   }
 
@@ -210,10 +229,15 @@ class ShmCombining {
   template <class Ctx>
     requires Composable<Obj, Ctx>
   void drain(Ctx& ctx) {
-    int spins = 0;
     while (pending() != 0) {
       if (try_serve(ctx)) continue;
-      spin_backoff(spins);
+      wait_until(
+          ctx,
+          [this] {
+            return pending() == 0 ||
+                   gate_.load(std::memory_order_relaxed) == 0;
+          },
+          futex_waiters_);
     }
   }
 
@@ -282,6 +306,11 @@ class ShmCombining {
         ++reclaimed;
       }
     }
+    // release_gate's wake doubles as the orphan sweep-up: live waiters
+    // parked against state a DEAD process was supposed to change
+    // (claim() waiting on records the corpse held, publishers waiting
+    // on a gate it wedged) re-check their predicates against the swept
+    // slots and the freed gate instead of sleeping forever.
     release_gate();
     return reclaimed;
   }
@@ -304,6 +333,15 @@ class ShmCombining {
   }
   [[nodiscard]] std::uint64_t direct_ops() const noexcept {
     return direct_ops_.load(std::memory_order_relaxed);
+  }
+
+  // Park/wake telemetry from the segment-resident WaitPoint. The
+  // counters live in shared memory, so — like the combining counters
+  // above — they aggregate over ALL participating processes: a client
+  // that parked against a stalled server shows up in the server's
+  // readout (compose.shm gates on exactly that).
+  [[nodiscard]] ParkStats park_stats() const noexcept {
+    return futex_waiters_.stats();
   }
 
  private:
@@ -329,6 +367,10 @@ class ShmCombining {
   }
   void release_gate() noexcept {
     gate_.store(0, std::memory_order_release);
+    // One batched wake per combine pass / gate handover: kDone slots,
+    // gate-waiters, and drain()ers all re-check off this single call.
+    // Uncontended cost: a fence + one relaxed load, no syscall.
+    futex_waiters_.wake_all();
   }
 
   // Claims a free record, rotating from a pid-derived hint; blocks
@@ -338,7 +380,6 @@ class ShmCombining {
   template <class Ctx>
   std::size_t claim(Ctx& ctx, std::uint32_t self) {
     const std::size_t hint = static_cast<std::size_t>(self) % kSlots;
-    int spins = 0;
     for (;;) {
       for (std::size_t k = 0; k < kSlots; ++k) {
         const std::size_t idx =
@@ -353,7 +394,21 @@ class ShmCombining {
           return idx;
         }
       }
-      spin_backoff(spins);
+      // Array exhausted: park until some record frees — a publisher's
+      // collect, or reclaim_dead() sweeping a corpse's records (its
+      // release_gate wake is what un-parks us after a SIGKILL).
+      wait_until(
+          ctx,
+          [this] {
+            for (const Slot& s : slots_) {
+              if (slot_state_of(s.word.load(std::memory_order_relaxed)) ==
+                  SlotState::kFree) {
+                return true;
+              }
+            }
+            return false;
+          },
+          futex_waiters_);
     }
   }
 
@@ -411,6 +466,11 @@ class ShmCombining {
 
   std::array<Slot, kSlots> slots_{};
   alignas(kCacheLineSize) std::atomic<std::uint32_t> gate_{0};
+  // Rung-3 parking for every wait loop above. kShared scope: the futex
+  // word lives in the segment, so FUTEX_WAIT/FUTEX_WAKE must key on
+  // the physical page (no FUTEX_PRIVATE_FLAG) — each process maps it
+  // at a different virtual address.
+  alignas(kCacheLineSize) WaitPoint<FutexScope::kShared> futex_waiters_{};
   alignas(kCacheLineSize) std::atomic<std::uint64_t> rounds_{0};
   std::atomic<std::uint64_t> batched_ops_{0};
   std::atomic<std::uint64_t> direct_ops_{0};

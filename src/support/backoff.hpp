@@ -51,20 +51,28 @@ inline void cpu_pause() noexcept {
 // count would burn whole quanta that the thread being waited on needs.
 // There is no wakeup to lose: every rung returns to the caller's
 // re-read of the watched variable.
-inline void spin_backoff(int& spins) noexcept {
+//
+// Returns whether the ladder is SATURATED — this call yielded the
+// timeslice rather than spinning. `spins` stops advancing at the
+// saturation rung (yields do not escalate each other), so the return
+// value is the only way a caller can detect "this has become a long
+// wait" — the signal the parking layer (support/parking.hpp) keys its
+// spin → yield → park escalation off.
+inline bool spin_backoff(int& spins) noexcept {
   constexpr int kSpinRungs = 8;   // bare re-reads
   constexpr int kPauseRungs = 8;  // 1, 2, 4, ... 128 pauses
   if (spins < kSpinRungs) {
     ++spins;
-    return;
+    return false;
   }
   if (spins < kSpinRungs + kPauseRungs) {
     const int reps = 1 << (spins - kSpinRungs);
     for (int i = 0; i < reps; ++i) cpu_pause();
     ++spins;
-    return;
+    return false;
   }
   std::this_thread::yield();  // saturated: hand over the timeslice
+  return true;
 }
 
 }  // namespace scm

@@ -40,6 +40,24 @@ TEST(Backoff, LadderAdvancesThenSaturates) {
   EXPECT_EQ(spins, 16);
 }
 
+// Regression: because `spins` stops advancing at saturation, the
+// RETURN VALUE is the only signal that the wait has become long — a
+// caller watching the counter alone can never tell rung 16 ("about to
+// yield for the first time") from rung 16 after a thousand yields.
+// The parking layer (support/parking.hpp) escalates to a futex park
+// off exactly this signal, so: every pre-saturation call must return
+// false, every saturated call true, indefinitely.
+TEST(Backoff, SaturationIsSignalledThroughTheReturnValue) {
+  int spins = 0;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(spin_backoff(spins)) << "rung " << i;
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(spin_backoff(spins)) << "saturated call " << i;
+    EXPECT_EQ(spins, 16);
+  }
+}
+
 // The ladder must actually pace a real wait to completion: a thread
 // spinning on a flag with spin_backoff observes the write even when
 // the ladder has long since saturated into yields.

@@ -168,6 +168,12 @@ RunReport sample_report() {
   p.phase = "contended n=4";
   p.ops = 16;
   p.extra.emplace_back("solo_steps", 9.0);
+  // Parking telemetry extras as the native combining scenarios emit
+  // them — the schema test below pins their spelling.
+  p.extra.emplace_back("parks", 3.0);
+  p.extra.emplace_back("wakes", 2.0);
+  p.extra.emplace_back("spurious_wakes", 0.0);
+  p.extra.emplace_back("futex_syscalls", 5.0);
   s.phases.push_back(p);
   report.scenarios.push_back(std::move(s));
   return report;
@@ -235,7 +241,11 @@ TEST(ReportSchema, ContainsRequiredKeys) {
         // Cross-process (compose.shm) parameters — additive like the
         // environment keys above.
         "\"page_size\"", "\"shm_procs\"", "\"shm_segment_bytes\"",
-        "\"shm_slot_count\""}) {
+        "\"shm_slot_count\"",
+        // Placement + parking provenance (PR 9) — additive again:
+        // which --topology policy ran, how many L3/NUMA domains the
+        // host reported, and the compiled-in rung-3 wait mode.
+        "\"topology\"", "\"topology_domains\"", "\"wait_mode\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   // Per scenario.
@@ -246,10 +256,13 @@ TEST(ReportSchema, ContainsRequiredKeys) {
         "\"phases\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
-  // Per phase and per summary.
+  // Per phase and per summary. The parking telemetry extras flow
+  // through the generic extra map — this pins their key spelling so
+  // downstream dashboards can rely on it.
   for (const char* key :
        {"\"phase\":\"contended n=4\"", "\"min\"", "\"median\"", "\"p99\"",
-        "\"mean\"", "\"extra\"", "\"solo_steps\":9"}) {
+        "\"mean\"", "\"extra\"", "\"solo_steps\":9", "\"parks\":3",
+        "\"wakes\":2", "\"spurious_wakes\":0", "\"futex_syscalls\":5"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
 }

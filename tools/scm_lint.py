@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """scm_lint — repo-specific static checks for the scm codebase.
 
-Two rules, both about invariants the C++ type system cannot state:
+Three rules, all about invariants the C++ type system cannot state:
 
 RULE 1: explicit memory orders (src/**).
   Every std::atomic load/store/RMW must name its std::memory_order.
@@ -28,6 +28,18 @@ RULE 2: address-free shm layer (src/shm/**).
       AND be covered by an SCM_ASSERT_ADDRESS_FREE(<name>...) somewhere
       under src/ (the macro pins what the traits can check; this rule
       pins the rest and that the macro is actually applied).
+
+RULE 3: cross-process futex words (src/shm/**).
+  futex(2) compares exactly 4 bytes at the given address, and a
+  process-private futex keys on the mapping's virtual address — both
+  mistakes compile silently and fail only under contention. So every
+  member whose name starts with `futex` in a segment-resident type
+  must be either:
+    * a WaitPoint<FutexScope::kShared, ...> (support/parking.hpp), or
+    * a bare 4-byte-aligned std::atomic<std::uint32_t>,
+  and its enclosing type must be covered by SCM_ASSERT_ADDRESS_FREE
+  (types annotated `// scm-lint: process-local` are exempt — they
+  never enter the segment).
 
 Usage:
   tools/scm_lint.py [--root DIR] [--self-test]
@@ -288,15 +300,86 @@ def check_shm_layout(path: str, raw: str, macro_corpus: str) -> list[Finding]:
                                 "this type never enters the segment)"))
         # Macro coverage: the type (or an instantiation of it) must be
         # asserted address-free somewhere in the scanned tree.
-        if not re.search(MACRO_NAME + r"\s*\(\s*(?:[\w:]+::)?"
-                         + re.escape(name) + r"\b", macro_corpus) and \
-           not re.search(MACRO_NAME + r"\s*\([^)]*\b" + re.escape(name)
-                         + r"\s*<", macro_corpus):
+        if not macro_covers(name, macro_corpus):
             findings.append(
                 Finding(path, line_of(text, m.start()), "address-free",
                         f"'{name}' is defined under src/shm/ but never "
                         f"covered by {MACRO_NAME} (or annotate it "
                         "process-local)"))
+    return findings
+
+
+def macro_covers(name: str, macro_corpus: str) -> bool:
+    return bool(
+        re.search(MACRO_NAME + r"\s*\(\s*(?:[\w:]+::)?" + re.escape(name)
+                  + r"\b", macro_corpus)
+        or re.search(MACRO_NAME + r"\s*\([^)]*\b" + re.escape(name) + r"\s*<",
+                     macro_corpus))
+
+
+# ---------------------------------------------------------------------------
+# RULE 3: cross-process futex words
+
+FUTEX_DECL_RE = re.compile(r"\bfutex\w*\s*(=|;|\{)")
+FUTEX_WAITPOINT_RE = re.compile(r"\bWaitPoint\s*<")
+FUTEX_SHARED_RE = re.compile(
+    r"\bWaitPoint\s*<\s*(?:scm::)?FutexScope::kShared\b")
+FUTEX_ATOMIC32_RE = re.compile(r"\bstd::atomic\s*<\s*(?:std::)?uint32_t\s*>")
+ALIGNAS_RE = re.compile(r"\balignas\s*\([^)]*\)")
+
+
+def check_shm_futex(path: str, raw: str, macro_corpus: str) -> list[Finding]:
+    """Flags futex-word members under src/shm/ that the kernel (or a
+    second process) would silently misread: wrong width, private scope,
+    or a containing type nobody asserted address-free."""
+    text = strip_comments(raw)
+    findings = []
+    for m in STRUCT_RE.finditer(text):
+        name = m.group(2)
+        open_brace = text.index("{", m.start())
+        end = body_end(text, open_brace)
+        if is_annotated(raw, text, m.start()):
+            continue  # process-local handle; its futexes never cross
+        body = text[open_brace + 1 : end]
+        base_line = line_of(text, open_brace)
+        brace_depth = 0
+        paren_depth = 0
+        has_futex_member = False
+        for off, body_ln in enumerate(body.split("\n")):
+            stripped = body_ln.strip()
+            lineno = base_line + off
+            at_member_level = brace_depth == 0 and paren_depth == 0
+            brace_depth += body_ln.count("{") - body_ln.count("}")
+            paren_depth += body_ln.count("(") - body_ln.count(")")
+            if not at_member_level:
+                continue
+            # alignas(...) is the one paren a member declaration may
+            # legitimately carry; anything else with parens is a
+            # signature or a call, not a member.
+            sans_alignas = ALIGNAS_RE.sub("", stripped)
+            if "(" in sans_alignas or not FUTEX_DECL_RE.search(sans_alignas):
+                continue
+            has_futex_member = True
+            if FUTEX_WAITPOINT_RE.search(sans_alignas):
+                if not FUTEX_SHARED_RE.search(sans_alignas):
+                    findings.append(
+                        Finding(path, lineno, "futex-word",
+                                f"'{name}': segment-resident WaitPoint must "
+                                "use FutexScope::kShared — a private futex "
+                                "keys on this process's mapping address and "
+                                "never wakes another process"))
+            elif not FUTEX_ATOMIC32_RE.search(sans_alignas):
+                findings.append(
+                    Finding(path, lineno, "futex-word",
+                            f"'{name}': futex word must be a 4-byte-aligned "
+                            "std::atomic<std::uint32_t> (futex(2) compares "
+                            "exactly 4 bytes) or a kShared WaitPoint"))
+        if has_futex_member and not macro_covers(name, macro_corpus):
+            findings.append(
+                Finding(path, line_of(text, m.start()), "futex-word",
+                        f"'{name}' holds a futex word but is never covered "
+                        f"by {MACRO_NAME} — futex words live in the segment "
+                        "and must be address-free"))
     return findings
 
 
@@ -331,6 +414,7 @@ def run_lint(src_root: str) -> list[Finding]:
         findings.extend(check_memory_orders(p, raw))
         if p.startswith(shm_prefix):
             findings.extend(check_shm_layout(p, raw, macro_corpus))
+            findings.extend(check_shm_futex(p, raw, macro_corpus))
     return findings
 
 
@@ -405,6 +489,35 @@ SELF_TESTS = [
     ("namespace-qualified macro arg counts as coverage",
      "shm", "struct S { std::uint64_t off = 0; };\n"
             "SCM_ASSERT_ADDRESS_FREE(detail::S);", 0),
+    ("64-bit futex word flagged",
+     "futex", "struct S { std::atomic<std::uint64_t> futex_word_{0}; };\n"
+              "SCM_ASSERT_ADDRESS_FREE(S);", 1),
+    ("private-scope WaitPoint in the segment flagged",
+     "futex", "struct S { WaitPoint<FutexScope::kPrivate> futex_waiters_{}; "
+              "};\n"
+              "SCM_ASSERT_ADDRESS_FREE(S);", 1),
+    ("shared-scope WaitPoint passes",
+     "futex", "struct S { WaitPoint<FutexScope::kShared> futex_waiters_{}; "
+              "};\n"
+              "SCM_ASSERT_ADDRESS_FREE(S);", 0),
+    ("aligned 32-bit atomic futex word passes",
+     "futex", "struct S { alignas(4) std::atomic<std::uint32_t> "
+              "futex_word_{0}; };\n"
+              "SCM_ASSERT_ADDRESS_FREE(S);", 0),
+    ("aligned shared WaitPoint member passes",
+     "futex", "struct S {\n"
+              "  alignas(64) WaitPoint<FutexScope::kShared> "
+              "futex_waiters_{};\n"
+              "};\n"
+              "SCM_ASSERT_ADDRESS_FREE(S);", 0),
+    ("futex word without address-free coverage flagged",
+     "futex", "struct S { std::atomic<std::uint32_t> futex_word_{0}; };", 1),
+    ("futex call in a method body is not a member",
+     "futex", "struct S {\n"
+              "  std::uint64_t off = 0;\n"
+              "  void f() { futex_waiters_.wake_all(); }\n"
+              "};\n"
+              "SCM_ASSERT_ADDRESS_FREE(S);", 0),
 ]
 
 
@@ -413,6 +526,9 @@ def self_test() -> int:
     for name, rule, snippet, expected in SELF_TESTS:
         if rule == "order":
             got = check_memory_orders("<self-test>", snippet)
+        elif rule == "futex":
+            got = check_shm_futex("<self-test>", snippet,
+                                  strip_comments(snippet))
         else:
             got = check_shm_layout("<self-test>", snippet,
                                    strip_comments(snippet))
