@@ -1,0 +1,340 @@
+// Scenario compose.adaptive (E17) — contention-driven runtime
+// self-tuning of the composition stack. Every earlier scenario sweeps
+// a STATIC grid (shards, combining on/off, window) and reports which
+// cell won; this one hands the same stack to Adaptive<...>
+// (core/adaptive.hpp) and checks the closed loop finds the winner by
+// itself while the workload changes under it:
+//
+//   phase 1 (lo)  1 thread         — the uncontended regime, where the
+//                                    best config is few shards + the
+//                                    TAS fast path
+//   phase 2 (hi)  2x --threads     — the contended regime, where the
+//                                    best config spreads shards and
+//                                    amortizes through batching
+//
+// both on ONE Adaptive object, so the monitor sees the ramp — then a
+// static sweep over shards {1, kShards} x elect_spins {0, 1} at the
+// hi thread count gives the best static configuration the adaptive
+// run is judged against.
+//
+// Claims: the scale-robust self-checks always gate — solo
+// Adaptive invoke/submit is result-identical to the bare stack
+// (adaptation enabled AND disabled), a disabled wrapper makes zero
+// decisions over thousands of window crossings, every measured op
+// commits its full-walk hop count, and per-shard sink totals sum to
+// the offered load. The convergence claim — adaptive hi-phase ns/op
+// within 15% of the best static cell — additionally gates only on
+// >= 8 hardware threads with a non-trivial ops budget (elsewhere the
+// contended regime does not reproducibly exist; the columns are still
+// recorded for tracking).
+//
+// Extra columns (adaptive phases): adaptive_decisions,
+// adaptive_active_shards, adaptive_elect_spins,
+// adaptive_yields_before_park, adaptive_convergence_ops (global op
+// count at the last tuning change), adaptive_enabled — plus the
+// combining/parking telemetry every batching scenario reports.
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "bench/scenario.hpp"
+#include "core/adaptive.hpp"
+#include "core/async.hpp"
+#include "core/combining.hpp"
+#include "core/pipeline.hpp"
+#include "core/sharding.hpp"
+#include "runtime/platform.hpp"
+#include "support/parking.hpp"
+#include "workload/driver.hpp"
+
+namespace {
+
+using namespace scm;
+using namespace scm::bench;
+
+constexpr std::size_t kShards = 8;
+constexpr std::size_t kCombineSlots = 8;
+constexpr std::size_t kDepth = 4;
+
+// The E11..E14 composition plumbing: relays abort with an incremented
+// hop count, the sink commits it after one counted fetch_add.
+class Relay {
+ public:
+  static constexpr int kConsensusNumber = kConsensusNumberRegister;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& /*m*/,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    (void)gate_.read(ctx);
+    return ModuleResult::abort_with(init.value_or(0) + 1);
+  }
+
+ private:
+  NativeRegister<int> gate_{0};
+};
+
+class RmwSink {
+ public:
+  static constexpr int kConsensusNumber = kConsensusNumberFetchAdd;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& /*m*/,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    (void)count_.fetch_add(ctx);
+    return ModuleResult::commit(init.value_or(0));
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_.peek(); }
+
+ private:
+  NativeCounter count_;
+};
+
+// Probe sink for the equivalence checks: commits the fetch_add ticket,
+// so response streams expose execution order.
+class TicketSink {
+ public:
+  static constexpr int kConsensusNumber = kConsensusNumberFetchAdd;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& /*m*/,
+                      std::optional<SwitchValue> init = std::nullopt) {
+    const auto t = count_.fetch_add(ctx);
+    return ModuleResult::commit(static_cast<Response>(
+        init.value_or(0) * 1000 + static_cast<SwitchValue>(t)));
+  }
+
+ private:
+  NativeCounter count_;
+};
+
+template <class Sink>
+using PipeOf = FastPipeline<Relay, Relay, Relay, Sink>;
+
+// The full stack under adaptation: shards of combiners over pipelines.
+template <class Sink>
+using StackOf =
+    Sharded<Combining<PipeOf<Sink>, kCombineSlots, ByThread>, kShards,
+            ByThread>;
+
+Request req_of(ProcessId p, std::uint64_t i) {
+  return Request{(static_cast<std::uint64_t>(p) << 40) | (i + 1), p, 0, 0};
+}
+
+template <class Cell>
+std::uint64_t sink_total(Cell& cell) {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    total += cell.shard(s).object().template stage<kDepth - 1>().count();
+  }
+  return total;
+}
+
+// One closed-loop measured phase: every thread invokes ops times,
+// validating the full-walk hop count on each result.
+template <class Cell>
+void run_cell(std::string name, int threads, std::uint64_t ops, Cell& cell,
+              ScenarioResult& result, std::uint64_t& mismatches) {
+  std::atomic<std::uint64_t> bad{0};
+  const workload::DriverResult r = workload::run_threads(
+      threads, ops, [&](NativeContext& ctx, std::uint64_t i) {
+        const ModuleResult res = cell.invoke(ctx, req_of(ctx.id(), i));
+        if (!res.committed() ||
+            res.response != static_cast<Response>(kDepth - 1)) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  mismatches += bad.load(std::memory_order_relaxed);
+
+  PhaseMetrics pm;
+  pm.phase = std::move(name);
+  pm.ops = r.total_ops;
+  pm.seconds = r.seconds;
+  pm.steps = r.total_counters().total();
+  pm.rmws = r.total_counters().rmws;
+  result.phases.push_back(std::move(pm));
+}
+
+// Appends the combining + parking telemetry columns every batching
+// scenario reports, summed over shards (through whatever wrapper
+// `combining` is — Adaptive forwards the aggregate surface).
+template <class Combined>
+void combining_extras(PhaseMetrics& pm, const Combined& combining) {
+  const std::uint64_t rounds = combining.combine_rounds();
+  const std::uint64_t batched = combining.combined_ops();
+  const std::uint64_t fastpath = combining.direct_ops();
+  const ParkStats ps = combining.park_stats();
+  const std::uint64_t total = fastpath + batched;
+  pm.extra["ops_per_combine"] =
+      rounds == 0 ? 0.0
+                  : static_cast<double>(batched) / static_cast<double>(rounds);
+  pm.extra["fastpath_share"] =
+      total == 0 ? 0.0
+                 : static_cast<double>(fastpath) / static_cast<double>(total);
+  pm.extra["parks"] = static_cast<double>(ps.parks);
+  pm.extra["wakes"] = static_cast<double>(ps.wakes);
+  pm.extra["spurious_wakes"] = static_cast<double>(ps.spurious_wakes);
+  pm.extra["futex_syscalls"] = static_cast<double>(ps.futex_syscalls);
+  pm.extra["park_ratio"] = ps.park_ratio();
+}
+
+// Probe 1: solo Adaptive<stack> is result-identical to the bare
+// wrapped object on both the invoke and the submit/wait/poll paths —
+// with adaptation enabled AND disabled (enabled solo, the monitor may
+// tick and even shrink the mask; results must not move).
+bool solo_equivalence(bool enabled) {
+  Adaptive<StackOf<TicketSink>> layer;
+  layer.set_enabled(enabled);
+  PipeOf<TicketSink> reference;
+  NativeContext ctx(0);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const ModuleResult want = reference.invoke(ctx, req_of(0, i));
+    ModuleResult got;
+    if (i % 3 == 0) {
+      got = layer.invoke(ctx, req_of(0, i));
+    } else if (i % 3 == 1) {
+      got = layer.submit(ctx, req_of(0, i)).wait();
+    } else {
+      auto t = layer.submit(ctx, req_of(0, i));
+      while (!t.poll()) {
+      }
+      const auto r = t.try_result();
+      if (!r.has_value()) return false;
+      got = *r;
+    }
+    if (!got.committed() || got.response != want.response) return false;
+  }
+  return true;
+}
+
+// Probe 2: a disabled wrapper never decides — thousands of ops cross
+// many window boundaries and the monitor must not have run once.
+bool disabled_probe() {
+  Adaptive<StackOf<RmwSink>> cell;
+  cell.set_enabled(false);
+  NativeContext ctx(0);
+  const std::uint64_t n = Adaptive<StackOf<RmwSink>>::kWindowOps * 4;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!cell.invoke(ctx, req_of(0, i)).committed()) return false;
+  }
+  return cell.decisions() == 0 && cell.windows() == 0 &&
+         cell.tuning() == AdaptiveTuning{kShards, 1, kYieldsBeforePark};
+}
+
+ScenarioResult run(const BenchParams& params) {
+  ScenarioResult result;
+  std::uint64_t mismatches = 0;
+  std::uint64_t accounting_gaps = 0;
+
+  const int hi_threads = params.threads * 2;
+
+  // ---- the adaptive ramp: one object, two regimes.
+  double adaptive_hi_ns = 0.0;
+  {
+    Adaptive<StackOf<RmwSink>> cell;
+    cell.set_enabled(params.adaptive);
+
+    run_cell("adaptive lo t=1", 1, params.ops, cell, result, mismatches);
+    const std::uint64_t lo_ops = result.phases.back().ops;
+    const auto record = [&](PhaseMetrics& pm) {
+      combining_extras(pm, cell);
+      const AdaptiveTuning t = cell.tuning();
+      pm.extra["adaptive_enabled"] = cell.enabled() ? 1.0 : 0.0;
+      pm.extra["adaptive_decisions"] = static_cast<double>(cell.decisions());
+      pm.extra["adaptive_active_shards"] =
+          static_cast<double>(t.active_shards);
+      pm.extra["adaptive_elect_spins"] = static_cast<double>(t.elect_spins);
+      pm.extra["adaptive_yields_before_park"] =
+          static_cast<double>(t.yields_before_park);
+      pm.extra["adaptive_convergence_ops"] =
+          static_cast<double>(cell.last_change_ops());
+    };
+    record(result.phases.back());
+
+    run_cell("adaptive hi t=" + std::to_string(hi_threads), hi_threads,
+             params.ops, cell, result, mismatches);
+    record(result.phases.back());
+    adaptive_hi_ns = result.phases.back().ops == 0
+                         ? 0.0
+                         : result.phases.back().seconds * 1e9 /
+                               static_cast<double>(result.phases.back().ops);
+
+    if (sink_total(cell.object()) != lo_ops + result.phases.back().ops) {
+      ++accounting_gaps;
+    }
+    // A disabled run must have decided nothing; an enabled run's
+    // tuning must stay inside the actuators' ranges.
+    const AdaptiveTuning t = cell.tuning();
+    if (!params.adaptive && cell.decisions() != 0) ++accounting_gaps;
+    if (t.active_shards < 1 || t.active_shards > kShards ||
+        t.elect_spins > 1 || t.yields_before_park < 0) {
+      ++accounting_gaps;
+    }
+  }
+
+  // ---- the static sweep the adaptive run is judged against:
+  // shards {1, kShards} x elect_spins {0, 1} at the hi thread count.
+  double best_static_ns = 0.0;
+  for (const std::size_t shards : {std::size_t{1}, kShards}) {
+    for (const std::uint32_t spins : {std::uint32_t{0}, std::uint32_t{1}}) {
+      StackOf<RmwSink> cell;
+      cell.set_active_shards(shards);
+      cell.set_elect_spins(spins);
+      run_cell("static shards=" + std::to_string(shards) +
+                   " spins=" + std::to_string(spins) +
+                   " t=" + std::to_string(hi_threads),
+               hi_threads, params.ops, cell, result, mismatches);
+      if (sink_total(cell) != result.phases.back().ops) ++accounting_gaps;
+      PhaseMetrics& pm = result.phases.back();
+      combining_extras(pm, cell);
+      pm.extra["shards"] = static_cast<double>(shards);
+      pm.extra["elect_spins"] = static_cast<double>(spins);
+      const double ns =
+          pm.ops == 0
+              ? 0.0
+              : pm.seconds * 1e9 / static_cast<double>(pm.ops);
+      if (ns > 0.0 && (best_static_ns == 0.0 || ns < best_static_ns)) {
+        best_static_ns = ns;
+      }
+    }
+  }
+
+  const bool probes_ok =
+      solo_equivalence(true) && solo_equivalence(false) && disabled_probe();
+
+  // Convergence gate: adaptive within 15% of the best static cell.
+  // Only meaningful where the contended regime exists (>= 8 hardware
+  // threads) with a non-trivial budget (the monitor needs windows to
+  // converge within); recorded always, gated conditionally.
+  const bool convergence_gated =
+      params.adaptive &&
+      std::thread::hardware_concurrency() >= 8 &&
+      params.ops >= 1024;
+  const bool converged = best_static_ns == 0.0 || adaptive_hi_ns == 0.0 ||
+                         adaptive_hi_ns <= best_static_ns * 1.15;
+
+  result.claim =
+      "solo Adaptive invoke/submit is result-identical to the bare "
+      "stack (adaptation on and off); a disabled wrapper makes zero "
+      "decisions; every op commits its full-walk hop count and "
+      "per-shard sink totals sum to the offered load; on >= 8 hardware "
+      "threads the adaptive config converges to within 15% of the best "
+      "static configuration";
+  result.claim_holds = mismatches == 0 && accounting_gaps == 0 &&
+                       probes_ok && (!convergence_gated || converged);
+  return result;
+}
+
+SCM_BENCH_REGISTER("compose.adaptive", "E17",
+                   "adaptive composition: thread ramp 1 -> 2x--threads on "
+                   "one Adaptive<Sharded<Combining>> vs the static "
+                   "shards x elect_spins sweep, convergence + equivalence "
+                   "gates",
+                   Backend::kNative, run);
+
+}  // namespace

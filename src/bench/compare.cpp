@@ -269,6 +269,8 @@ int run_compare(const std::string& old_path, const std::string& new_path,
   Table t({"scenario", "old ns/op", "new ns/op", "delta", "verdict"});
   int regressions = 0;
   std::size_t compared = 0;
+  std::vector<std::string> only_new;
+  std::vector<std::string> only_old;
   for (const ScenarioMedian& n : news) {
     const ScenarioMedian* o = nullptr;
     for (const ScenarioMedian& cand : olds) {
@@ -279,6 +281,7 @@ int run_compare(const std::string& old_path, const std::string& new_path,
     }
     if (o == nullptr) {
       t.row(n.name, "-", n.median, "-", "new");
+      only_new.push_back(n.name);
       continue;
     }
     // Sub-resolution or sim medians carry no wall-time signal: a
@@ -301,12 +304,37 @@ int run_compare(const std::string& old_path, const std::string& new_path,
   for (const ScenarioMedian& o : olds) {
     bool found = false;
     for (const ScenarioMedian& n : news) found = found || n.name == o.name;
-    if (!found) t.row(o.name, o.median, "-", "-", "missing");
+    if (!found) {
+      t.row(o.name, o.median, "-", "-", "missing");
+      only_old.push_back(o.name);
+    }
   }
 
   std::ostringstream title;
   title << "bench compare (threshold " << threshold * 100.0 << "%)";
   t.print(os, title.str());
+  // One-sided scenarios never gate (there is nothing to diff), but a
+  // diff table that silently drops them is misleading — a renamed or
+  // accidentally unregistered scenario would vanish from the gate
+  // without a trace. Name them explicitly.
+  const auto list_names = [](const std::vector<std::string>& names) {
+    std::string joined;
+    for (const std::string& n : names) {
+      if (!joined.empty()) joined += ", ";
+      joined += n;
+    }
+    return joined;
+  };
+  if (!only_new.empty()) {
+    os << "warning: " << only_new.size()
+       << " scenario(s) only in NEW report (no baseline to diff against): "
+       << list_names(only_new) << "\n";
+  }
+  if (!only_old.empty()) {
+    os << "warning: " << only_old.size()
+       << " scenario(s) only in OLD report (absent from the new run): "
+       << list_names(only_old) << "\n";
+  }
   os << compared << " compared, " << regressions << " regressed\n";
   return regressions > 0 ? 1 : 0;
 }

@@ -73,8 +73,11 @@ class JsonValue {
 // The --compare entry point: loads both reports, matches scenarios by
 // name, and compares scenario-level median ns_per_op. A scenario
 // regresses when new > old * (1 + threshold); scenarios present in
-// only one report are listed but never gate. Returns the process exit
-// code: 0 = no regression, 1 = regression, 2 = unreadable input.
+// only one report never gate, but are listed in the table AND called
+// out in explicit post-table warning lines naming each one-sided
+// scenario — a rename or a dropped registration must not vanish from
+// the gate silently. Returns the process exit code: 0 = no
+// regression, 1 = regression, 2 = unreadable input.
 int run_compare(const std::string& old_path, const std::string& new_path,
                 double threshold, std::ostream& os);
 

@@ -58,6 +58,10 @@ void print_usage() {
       "  --shm-bytes=N      compose.shm segment size in bytes (default 1MiB)\n"
       "  --shm-name=SEG     [client role] segment to attach\n"
       "  --shm-id=K         [client role] this worker's index\n"
+      "  --adaptive=0|1     run Adaptive-wrapped scenarios with the\n"
+      "                     contention monitor's actuators live (1,\n"
+      "                     default) or frozen (0 — the zero-overhead\n"
+      "                     configuration; recorded in the JSON report)\n"
       "  --json=FILE        write the scm-bench/v1 report to FILE\n"
       "  --compare OLD NEW  regression gate: compare two scm-bench/v1\n"
       "                     reports by scenario median ns_per_op and exit\n"
@@ -140,6 +144,12 @@ int main(int argc, char** argv) {
       params.shm_procs = std::atoi(value.c_str());
     } else if (parse_flag(arg, "--shm-bytes", &value)) {
       params.shm_segment_bytes = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(arg, "--adaptive", &value)) {
+      if (value != "0" && value != "1") {
+        std::fprintf(stderr, "--adaptive wants 0 or 1\n");
+        return 2;
+      }
+      params.adaptive = value == "1";
     } else if (parse_flag(arg, "--json", &value)) {
       json_path = value;
     } else {

@@ -194,7 +194,10 @@ void write_json(const RunReport& report, std::ostream& os) {
       // yield fallback), since the slow-path numbers differ.
       .kv("topology", report.params.topology)
       .kv("topology_domains", CpuTopology::system().domain_count())
-      .kv("wait_mode", wait_mode_name(kDefaultWaitMode));
+      .kv("wait_mode", wait_mode_name(kDefaultWaitMode))
+      // Whether Adaptive-wrapped scenarios ran with live actuators
+      // (--adaptive) — additive key, same contract as above.
+      .kv("adaptive", report.params.adaptive);
   w.end_object();
 
   w.key("scenarios").begin_array();

@@ -79,6 +79,13 @@ inline constexpr bool context_can_block_v = context_can_block<Ctx>::value;
 
 }  // namespace detail
 
+// Public name for the blocking-context trait: layers outside this
+// header (core/adaptive.hpp gates its monitor ticks on it, so the
+// deterministic simulator never observes wall-clock-dependent
+// reconfiguration) key behavior on the same opt-in NativeContext uses.
+template <class Ctx>
+inline constexpr bool context_can_block_v = detail::context_can_block_v<Ctx>;
+
 // Type-erased completion source of a pending ticket: two functions
 // instantiated by the issuing layer for the (source, context) pair the
 // ticket was created under. Erased by hand (function pointers into a

@@ -170,8 +170,10 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     // serve anyone who published while we held the lock. At low
     // contention this makes the wrapper cost one TAS + one scan; at
     // high contention the lock is rarely free, so operations take the
-    // publication path below and get batched.
-    if (try_lock(ctx)) return run_direct(ctx, m, init);
+    // publication path below and get batched. How hard to fight for
+    // the lock here is the runtime elect_spins knob: 0 skips the
+    // election entirely (publish-and-batch mode).
+    if (try_elect(ctx)) return run_direct(ctx, m, init);
 
     // The slot policy is consulted on the publication path only (the
     // fast path touches no slot); a load-tracking policy's counters
@@ -359,6 +361,29 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     return waiters_.value.stats();
   }
 
+  // ---- runtime actuators (core/adaptive.hpp drives these; both are
+  // relaxed hints, safe to flip while operations are in flight).
+
+  // Election attempts a per-op entry point makes before conceding to
+  // the publication path. 1 = historical TAS fast path (the default);
+  // 0 = publish-and-batch mode.
+  void set_elect_spins(std::uint32_t n) noexcept {
+    elect_spins_.value.store(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t elect_spins() const noexcept {
+    return elect_spins_.value.load(std::memory_order_relaxed);
+  }
+
+  // Wait-rung selection for every blocking site in this wrapper: how
+  // many yields a saturated waiter climbs before its first park
+  // (forwarded to the wrapper's WaitPoint).
+  void set_yields_before_park(int n) noexcept {
+    waiters_.value.set_yields_before_park(n);
+  }
+  [[nodiscard]] int yields_before_park() const noexcept {
+    return waiters_.value.yields_before_park();
+  }
+
   // Publication records not currently kFree — the slot-residue probe
   // (mirrors ShmCombining::occupied()). Zero once every invoke has
   // returned, every ticket is collected, and detached work is drained;
@@ -447,6 +472,27 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
     return false;
   }
 
+  // The knob-gated election used by the PER-OP entry points (invoke,
+  // submit): up to elect_spins election attempts with a pause between
+  // them. The default of 1 is bit-identical to the historical single
+  // TAS; 0 turns the direct fast path off entirely, so every
+  // contended op publishes and amortizes into a combiner batch —
+  // what the adaptive layer selects under sustained contention.
+  // Internal liveness sites (claim_or_run's exhaustion fallback,
+  // help_combine, invoke_batch) deliberately keep the raw try_lock:
+  // at elect_spins == 0 someone must still be able to take the lock
+  // or nothing would ever combine.
+  template <class Ctx>
+  bool try_elect(Ctx& ctx) {
+    const std::uint32_t attempts =
+        elect_spins_.value.load(std::memory_order_relaxed);
+    for (std::uint32_t a = 0; a < attempts; ++a) {
+      if (try_lock(ctx)) return true;
+      cpu_pause();
+    }
+    return false;
+  }
+
   // On a won election, runs one combine pass and releases the lock.
   // Every wait loop calls this so a stuck publication can always be
   // served by whoever is waiting on it — with async submitters in the
@@ -528,7 +574,7 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
                                          bool detached,
                                          CompletionFn completion, void* user,
                                          ModuleResult* out) {
-    if (try_lock(ctx)) {
+    if (try_elect(ctx)) {
       *out = run_direct(ctx, m, init, completion, user);
       return std::nullopt;
     }
@@ -770,6 +816,9 @@ class Combining : public detail::CombiningConsensusBase<Obj>,
   // One point for the whole wrapper: wakes are per-combine-pass, not
   // per-slot, so a finer grain would buy nothing but syscalls.
   Padded<WaitPoint<>> waiters_{};
+  // Read-mostly election knob on its own line: every per-op entry
+  // loads it; only adaptive reconfigurations write it.
+  Padded<std::atomic<std::uint32_t>> elect_spins_{std::in_place, 1u};
   Padded<Obj> obj_;
   std::atomic<std::uint64_t> rounds_{0};
   std::atomic<std::uint64_t> batched_ops_{0};

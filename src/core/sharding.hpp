@@ -47,7 +47,9 @@
 #include "history/request.hpp"
 #include "runtime/ids.hpp"
 #include "support/assert.hpp"
+#include "support/backoff.hpp"
 #include "support/cacheline.hpp"
+#include "support/parking.hpp"
 #include "support/topology.hpp"
 
 namespace scm {
@@ -240,13 +242,61 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
 
   // The shard this (context, request) pair routes to. Exposed so tests
   // and scenarios can verify routing determinism and measure per-shard
-  // load without re-implementing the policy.
+  // load without re-implementing the policy. The policy sees the
+  // ACTIVE shard count (set_active_shards), not the constructed one,
+  // so concentrating or spreading load is one published integer away —
+  // no replica reconstruction. The load is relaxed: a router may use a
+  // just-retired count for one more op, which routes to a still-live
+  // replica and is therefore harmless.
   template <class Ctx>
     requires ShardRoutingPolicy<Policy, Ctx>
   [[nodiscard]] std::size_t route(Ctx& ctx, const Request& m) {
-    const std::size_t s = policy_(ctx, m, kShards);
-    SCM_CHECK_MSG(s < kShards, "routing policy produced an out-of-range shard");
+    const std::size_t n = active_.value.load(std::memory_order_relaxed);
+    const std::size_t s = policy_(ctx, m, n);
+    SCM_CHECK_MSG(s < n, "routing policy produced an out-of-range shard");
     return s;
+  }
+
+  // ---- runtime actuator: effective shard count.
+
+  // Publishes a new active shard count in [1, kShards]. Growing widens
+  // the policy's modulus immediately (replicas beyond the old count
+  // are idle, fully-constructed objects — nothing to initialize).
+  // Shrinking publishes the smaller count FIRST (stopping new
+  // arrivals), then — for load-tracking policies exposing
+  // in_flight(s) — drains every deactivated shard's in-flight counter
+  // to zero before returning, so by the time the call completes no
+  // routed operation is still executing on a retired replica. The
+  // epoch bump is the "remap done" publication tests and monitors key
+  // on. Concurrent callers are the caller's problem (the adaptive
+  // layer serializes decisions behind its tick lock).
+  void set_active_shards(std::size_t n) {
+    SCM_CHECK_MSG(n >= 1 && n <= kShards,
+                  "active shard count must be in [1, kShards]");
+    const std::size_t old = active_.value.exchange(n, std::memory_order_seq_cst);
+    if (n < old) {
+      if constexpr (requires(const Policy& p, std::size_t s) {
+                      { p.in_flight(s) } -> std::convertible_to<std::int64_t>;
+                    }) {
+        for (std::size_t s = n; s < old; ++s) {
+          int spins = 0;
+          while (policy_.in_flight(s) != 0) (void)spin_backoff(spins);
+        }
+      }
+    }
+    mask_epoch_.fetch_add(1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::size_t active_shards() const noexcept {
+    return active_.value.load(std::memory_order_relaxed);
+  }
+
+  // Monotone remap counter: bumped once per completed
+  // set_active_shards (after any drain), so an observer comparing
+  // epochs across a reconfiguration knows the mask — and for
+  // load-tracking policies the drain — is fully published.
+  [[nodiscard]] std::uint64_t active_epoch() const noexcept {
+    return mask_epoch_.load(std::memory_order_acquire);
   }
 
   // Module surface: route, then run the replica through the uniform
@@ -527,6 +577,80 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
     return shards_[0].value.consensus_number();
   }
 
+  // ---- broadcast tuning knobs (enabled when the replica has them):
+  // one adaptive decision re-tunes every shard, active or not, so a
+  // later grow never resurrects a replica with stale settings.
+
+  void set_elect_spins(std::uint32_t n) noexcept
+    requires requires(Obj& o) { o.set_elect_spins(n); }
+  {
+    for (auto& s : shards_) s.value.set_elect_spins(n);
+  }
+
+  [[nodiscard]] std::uint32_t elect_spins() const noexcept
+    requires requires(const Obj& o) { o.elect_spins(); }
+  {
+    return shards_[0].value.elect_spins();
+  }
+
+  void set_yields_before_park(int n) noexcept
+    requires requires(Obj& o) { o.set_yields_before_park(n); }
+  {
+    for (auto& s : shards_) s.value.set_yields_before_park(n);
+  }
+
+  [[nodiscard]] int yields_before_park() const noexcept
+    requires requires(const Obj& o) { o.yields_before_park(); }
+  {
+    return shards_[0].value.yields_before_park();
+  }
+
+  // ---- aggregate combining/parking telemetry (enabled when the
+  // replica emits it): the sums the ContentionMonitor reads when the
+  // monitored object is Sharded<Combining<...>>. Per-shard counters
+  // stay on their own lines; summation is off the hot path.
+
+  [[nodiscard]] std::uint64_t direct_ops() const noexcept
+    requires requires(const Obj& o) { o.direct_ops(); }
+  {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.value.direct_ops();
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t combined_ops() const noexcept
+    requires requires(const Obj& o) { o.combined_ops(); }
+  {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.value.combined_ops();
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t combine_rounds() const noexcept
+    requires requires(const Obj& o) { o.combine_rounds(); }
+  {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.value.combine_rounds();
+    return total;
+  }
+
+  [[nodiscard]] ParkStats park_stats() const noexcept
+    requires requires(const Obj& o) {
+      { o.park_stats() } -> std::same_as<ParkStats>;
+    }
+  {
+    ParkStats agg;
+    for (const auto& s : shards_) {
+      const ParkStats one = s.value.park_stats();
+      agg.parks += one.parks;
+      agg.wakes += one.wakes;
+      agg.spurious_wakes += one.spurious_wakes;
+      agg.futex_syscalls += one.futex_syscalls;
+      agg.fast_wakes += one.fast_wakes;
+    }
+    return agg;
+  }
+
   [[nodiscard]] static constexpr std::size_t shard_count() noexcept {
     return kShards;
   }
@@ -593,6 +717,10 @@ class Sharded : public detail::ShardedConsensusBase<Obj>,
   }
 
   std::array<Padded<Obj>, kShards> shards_;
+  // Active shard count (the routing modulus) on its own line: every
+  // routed op loads it, only reconfigurations write it.
+  Padded<std::atomic<std::size_t>> active_{std::in_place, kShards};
+  std::atomic<std::uint64_t> mask_epoch_{0};
   [[no_unique_address]] Policy policy_{};
 };
 

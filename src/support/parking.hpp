@@ -92,12 +92,25 @@ enum class FutexScope : std::uint8_t { kPrivate, kShared };
 // spurious_wakes counts parks that returned with the predicate still
 // false (EAGAIN races, unrelated epoch bumps, yield-mode re-checks);
 // futex_syscalls counts actual kernel entries — zero on any path that
-// never saw a parked waiter.
+// never saw a parked waiter; fast_wakes counts waits that completed
+// WITHOUT parking (rungs 1-2 sufficed), the denominator that turns
+// raw park counts into a contention ratio.
 struct ParkStats {
   std::uint64_t parks = 0;
   std::uint64_t wakes = 0;
   std::uint64_t spurious_wakes = 0;
   std::uint64_t futex_syscalls = 0;
+  std::uint64_t fast_wakes = 0;
+
+  // Fraction of waits that escalated to rung 3: parks out of all
+  // completed waits (parked + fast). The contention signal the
+  // ContentionMonitor and humans both read. Zero-safe: no waits yet
+  // means no evidence of contention, so 0.0 — never NaN.
+  [[nodiscard]] double park_ratio() const noexcept {
+    const double total =
+        static_cast<double>(parks) + static_cast<double>(fast_wakes);
+    return total == 0.0 ? 0.0 : static_cast<double>(parks) / total;
+  }
 };
 
 namespace detail {
@@ -113,6 +126,14 @@ inline long futex_call(const std::atomic<std::uint32_t>* word, int op,
 #endif
 
 }  // namespace detail
+
+// Yield rungs to climb after the backoff ladder saturates before the
+// first park: parks cost two syscalls round-trip plus a likely context
+// switch, so waits just past the ladder (a combiner mid-pass) stay in
+// user space a little longer. This is the boot-time default; each
+// WaitPoint carries a runtime-tunable copy (set_yields_before_park)
+// so the adaptive layer can re-rung individual wait sites.
+inline constexpr int kYieldsBeforePark = 4;
 
 template <FutexScope kScope = FutexScope::kPrivate,
           WaitMode kMode = kDefaultWaitMode>
@@ -193,12 +214,32 @@ class WaitPoint {
     spurious_wakes_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Telemetry hook for the wait loop: a wait completed without ever
+  // parking — rungs 1-2 were enough. Together with parks this gives
+  // ParkStats::park_ratio() its denominator.
+  void note_fast_wake() noexcept {
+    fast_wakes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Runtime wait-rung knob: how many yield rungs a waiter climbs after
+  // the backoff ladder saturates before its first park. Lowering it
+  // under sustained contention parks waiters sooner (handing the
+  // timeslice to the combiner); raising it keeps short waits in user
+  // space. Relaxed on both sides — the knob is a hint, not a fence.
+  void set_yields_before_park(int n) noexcept {
+    yields_before_park_.store(n < 0 ? 0 : n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int yields_before_park() const noexcept {
+    return yields_before_park_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] ParkStats stats() const noexcept {
     ParkStats s;
     s.parks = parks_.load(std::memory_order_relaxed);
     s.wakes = wakes_.load(std::memory_order_relaxed);
     s.spurious_wakes = spurious_wakes_.load(std::memory_order_relaxed);
     s.futex_syscalls = futex_syscalls_.load(std::memory_order_relaxed);
+    s.fast_wakes = fast_wakes_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -208,33 +249,35 @@ class WaitPoint {
   std::atomic<std::uint64_t> wakes_{0};
   std::atomic<std::uint64_t> spurious_wakes_{0};
   std::atomic<std::uint64_t> futex_syscalls_{0};
+  std::atomic<std::uint64_t> fast_wakes_{0};
+  std::atomic<std::int32_t> yields_before_park_{kYieldsBeforePark};
 };
-
-// Yield rungs to climb after the backoff ladder saturates before the
-// first park: parks cost two syscalls round-trip plus a likely context
-// switch, so waits just past the ladder (a combiner mid-pass) stay in
-// user space a little longer.
-inline constexpr int kYieldsBeforePark = 4;
 
 // The native three-rung wait loop shared by every blocking site
 // without a simulator seam (wait_until() routes native contexts here;
 // ShmSpinBarrier calls it directly). Same caller contract as
 // wait_until: pure predicate, and returning only means the predicate
 // HELD at some instant — re-validate with a real RMW afterwards.
+// The park threshold is read once at entry: a concurrent retune
+// applies to the NEXT wait, never mid-climb.
 template <class WP, class Pred>
 void parked_wait(WP& wp, const Pred& pred) {
   int spins = 0;
   int saturated = 0;
+  const int yields_before_park = wp.yields_before_park();
+  bool parked = false;
   for (;;) {
-    if (pred()) return;
+    if (pred()) break;
     if (!spin_backoff(spins)) continue;
-    if (++saturated < kYieldsBeforePark) continue;
+    if (++saturated < yields_before_park) continue;
     const std::uint32_t token = wp.prepare();
-    if (pred()) return;
+    if (pred()) break;
     wp.park(token);
-    if (pred()) return;
+    parked = true;
+    if (pred()) break;
     wp.note_spurious();
   }
+  if (!parked) wp.note_fast_wake();
 }
 
 }  // namespace scm

@@ -1,0 +1,416 @@
+// Tests for the adaptive composition layer (core/adaptive.hpp):
+//
+//  * Adaptive<Obj> is a Composable module, inherits the wrapped
+//    object's consensus number, and compiles its monitor tick out for
+//    non-blocking (simulator) contexts;
+//  * solo equivalence: every invoke/submit response through
+//    Adaptive<Obj> is bit-identical to the bare Obj's, with adaptation
+//    enabled AND disabled — decisions are hints to relaxed knobs,
+//    never semantics;
+//  * the disabled configuration is inert: windows of operations tick
+//    nothing, decide nothing, move no knob;
+//  * ContentionMonitor: first window seeds the EWMA directly, later
+//    windows mix at alpha, zero-op windows are ignored entirely (idle
+//    must not decay the signals);
+//  * adapt_decide is pure and enumerable: grow/shrink with the
+//    used-shards disambiguator, the non-overlapping hysteresis bands,
+//    elect-spin publish/republish keyed on achieved batch size, and
+//    the park-ratio wait rung;
+//  * the closed loop end to end: a solo caller on a 4-shard stack is
+//    observed uncontended and concentrated onto one shard within two
+//    windows (the deterministic counterpart of compose.adaptive's
+//    thread-ramp convergence);
+//  * concurrent histories through Adaptive<Combining> linearize
+//    against CounterSpec, and a window-crossing storm commits every
+//    fetch&inc response exactly once while ticks and decisions fire
+//    mid-run.
+//
+// Runs under the "tsan" ctest label: the monitor's tick lock, the
+// relaxed knob publications, and the drain in set_active_shards are
+// exactly the kind of protocol TSan arbitrates.
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/combining.hpp"
+#include "core/module.hpp"
+#include "core/sharding.hpp"
+#include "history/specs.hpp"
+#include "lincheck/lincheck.hpp"
+#include "runtime/context.hpp"
+#include "runtime/platform.hpp"
+#include "sim/sim_platform.hpp"
+#include "workload/driver.hpp"
+
+namespace scm {
+namespace {
+
+// The counter module from caching_test: kFetchInc commits the OLD
+// value (each response is a unique ticket), kRead the current one.
+struct CounterModule {
+  static constexpr int kConsensusNumber = kConsensusNumberFetchAdd;
+
+  template <class Ctx>
+  ModuleResult invoke(Ctx& ctx, const Request& m,
+                      std::optional<SwitchValue> /*init*/ = std::nullopt) {
+    if (m.op == CounterSpec::kRead) {
+      return ModuleResult::commit(static_cast<Response>(count_.read(ctx)));
+    }
+    return ModuleResult::commit(static_cast<Response>(count_.fetch_add(ctx)));
+  }
+
+  [[nodiscard]] std::uint64_t peek() const noexcept { return count_.peek(); }
+
+ private:
+  NativeCounter count_;
+};
+
+Request read_req(std::uint64_t id, ProcessId p) {
+  return Request{id, p, CounterSpec::kRead, 0};
+}
+Request inc_req(std::uint64_t id, ProcessId p) {
+  return Request{id, p, CounterSpec::kFetchInc, 0};
+}
+
+using CombStack = Combining<CounterModule, 8, ByThread>;
+using ShardStack = Sharded<CombStack, 4, ByThread>;
+
+// ---------------------------------------------------------------------------
+// Static properties
+
+static_assert(Composable<Adaptive<CombStack>, NativeContext>);
+static_assert(Composable<Adaptive<ShardStack>, NativeContext>);
+static_assert(Adaptive<CombStack>::kConsensusNumber ==
+                  kConsensusNumberFetchAdd,
+              "the wrapper cannot change consensus power");
+static_assert(!std::is_polymorphic_v<Adaptive<ShardStack>>);
+// The tick is compiled out exactly where blocking is illegal: the
+// deterministic simulator must never observe wall-clock-dependent
+// reconfiguration.
+static_assert(context_can_block_v<NativeContext>);
+static_assert(!context_can_block_v<sim::SimContext>);
+
+// ---------------------------------------------------------------------------
+// Solo equivalence: Adaptive<Obj> == Obj, bit for bit
+
+TEST(Adaptive, SoloInvokeMatchesBareObjectAcrossWindows) {
+  // Enough operations to cross several monitor windows, so the
+  // equivalence covers ticks and any decisions they apply — not just
+  // the quiet stretch before the first boundary.
+  constexpr std::uint64_t kOps = 3 * Adaptive<CombStack>::kWindowOps + 17;
+  for (const bool enabled : {true, false}) {
+    Adaptive<CombStack> adaptive;
+    adaptive.set_enabled(enabled);
+    CombStack bare;
+    NativeContext ctx(0);
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      const bool is_read = i % 4 == 3;
+      const Request m = is_read ? read_req(i + 1, 0) : inc_req(i + 1, 0);
+      const ModuleResult want = bare.invoke(ctx, m);
+      const ModuleResult got = adaptive.invoke(ctx, m);
+      ASSERT_EQ(got.outcome, want.outcome) << "op " << i;
+      ASSERT_EQ(got.response, want.response) << "op " << i;
+    }
+    EXPECT_EQ(adaptive.object().object().peek(), bare.object().peek());
+  }
+}
+
+TEST(Adaptive, SoloSubmitMatchesBareObjectTicketForTicket) {
+  Adaptive<CombStack> adaptive;
+  CombStack bare;
+  NativeContext ctx(0);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    auto want = bare.submit(ctx, inc_req(i + 1, 0));
+    auto got = adaptive.submit(ctx, inc_req(i + 1, 0));
+    ASSERT_EQ(got.wait().response, want.wait().response) << "op " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The disabled configuration is inert
+
+TEST(Adaptive, DisabledTicksNothingAndMovesNoKnob) {
+  Adaptive<ShardStack> adaptive;
+  adaptive.set_enabled(false);
+  EXPECT_FALSE(adaptive.enabled());
+  const AdaptiveTuning before = adaptive.tuning();
+  EXPECT_EQ(before.active_shards, 4u);
+  EXPECT_EQ(before.elect_spins, 1u);
+  EXPECT_EQ(before.yields_before_park, kYieldsBeforePark);
+
+  NativeContext ctx(0);
+  constexpr std::uint64_t kOps = 4 * Adaptive<ShardStack>::kWindowOps;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    ASSERT_TRUE(adaptive.invoke(ctx, inc_req(i + 1, 0)).committed());
+  }
+  EXPECT_EQ(adaptive.windows(), 0u);
+  EXPECT_EQ(adaptive.decisions(), 0u);
+  EXPECT_EQ(adaptive.last_change_ops(), 0u);
+  EXPECT_EQ(adaptive.tuning(), before);
+}
+
+// ---------------------------------------------------------------------------
+// ContentionMonitor: differencing + EWMA + the zero-op window rule
+
+TEST(ContentionMonitorTest, FirstWindowSeedsSignalsDirectly) {
+  ContentionMonitor mon(0.5);
+  EXPECT_EQ(mon.windows(), 0u);
+  EXPECT_TRUE(mon.observe({80, 20, 10, 5, 5}));
+  EXPECT_EQ(mon.windows(), 1u);
+  EXPECT_DOUBLE_EQ(mon.signals().fastpath_share, 0.8);
+  EXPECT_DOUBLE_EQ(mon.signals().ops_per_combine, 2.0);
+  EXPECT_DOUBLE_EQ(mon.signals().park_ratio, 0.5);
+}
+
+TEST(ContentionMonitorTest, LaterWindowsMixAtAlpha) {
+  ContentionMonitor mon(0.5);
+  ASSERT_TRUE(mon.observe({80, 20, 10, 0, 0}));  // seeds fastpath 0.8
+  // Second window delta: 0 direct, 100 combined, 25 rounds — raw
+  // fastpath 0.0, opc 4.0. At alpha 0.5 the EWMA lands halfway.
+  ASSERT_TRUE(mon.observe({80, 120, 35, 0, 0}));
+  EXPECT_DOUBLE_EQ(mon.signals().fastpath_share, 0.4);
+  EXPECT_DOUBLE_EQ(mon.signals().ops_per_combine, 3.0);
+  EXPECT_EQ(mon.windows(), 2u);
+}
+
+TEST(ContentionMonitorTest, ZeroOpWindowsAreIgnoredNotDecayed) {
+  ContentionMonitor mon(0.5);
+  ASSERT_TRUE(mon.observe({0, 100, 20, 8, 2}));
+  const ContentionSignals seeded = mon.signals();
+  // An idle stretch: the cumulative counters do not move. No evidence
+  // may not drag the signals toward "uncontended".
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(mon.observe({0, 100, 20, 8, 2}));
+  }
+  EXPECT_EQ(mon.windows(), 1u);
+  EXPECT_DOUBLE_EQ(mon.signals().fastpath_share, seeded.fastpath_share);
+  EXPECT_DOUBLE_EQ(mon.signals().ops_per_combine, seeded.ops_per_combine);
+  EXPECT_DOUBLE_EQ(mon.signals().park_ratio, seeded.park_ratio);
+  // Parks moving with zero ops is still not a window (waiters but no
+  // completions — no denominator to attribute them to).
+  EXPECT_FALSE(mon.observe({0, 100, 20, 50, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// adapt_decide: pure, enumerable
+
+TEST(AdaptDecide, Pow2AtLeastRoundsUp) {
+  EXPECT_EQ(pow2_at_least(1), 1u);
+  EXPECT_EQ(pow2_at_least(2), 2u);
+  EXPECT_EQ(pow2_at_least(3), 4u);
+  EXPECT_EQ(pow2_at_least(5), 8u);
+  EXPECT_EQ(pow2_at_least(8), 8u);
+}
+
+TEST(AdaptDecide, GrowsByDoublingUnderContentionAndCapsAtMax) {
+  const AdaptivePolicy p;
+  ContentionSignals s;
+  s.fastpath_share = 0.4;  // contention 0.6 > grow threshold
+  AdaptiveTuning cur;
+  cur.active_shards = 2;
+  EXPECT_EQ(adapt_decide(p, s, cur, 8, 2).active_shards, 4u);
+  cur.active_shards = 8;
+  EXPECT_EQ(adapt_decide(p, s, cur, 8, 8).active_shards, 8u);  // capped
+}
+
+TEST(AdaptDecide, ShrinksTowardUsedShardsOnlyWhenUncontended) {
+  const AdaptivePolicy p;
+  ContentionSignals s;
+  s.fastpath_share = 0.95;  // contention 0.05 < shrink threshold
+  AdaptiveTuning cur;
+  cur.active_shards = 8;
+  // 3 shards actually served work: shrink to the covering power of 2.
+  EXPECT_EQ(adapt_decide(p, s, cur, 8, 3).active_shards, 4u);
+  // Shrink never grows: fewer active than used-rounded stays put.
+  cur.active_shards = 2;
+  EXPECT_EQ(adapt_decide(p, s, cur, 8, 3).active_shards, 2u);
+  // A zero-used window (reads served elsewhere) still keeps one shard.
+  cur.active_shards = 8;
+  EXPECT_EQ(adapt_decide(p, s, cur, 8, 0).active_shards, 1u);
+}
+
+TEST(AdaptDecide, HysteresisBandHoldsTheShardCount) {
+  const AdaptivePolicy p;
+  ContentionSignals s;
+  s.fastpath_share = 0.7;  // contention 0.3: between shrink and grow
+  AdaptiveTuning cur;
+  cur.active_shards = 4;
+  EXPECT_EQ(adapt_decide(p, s, cur, 8, 1).active_shards, 4u);
+}
+
+TEST(AdaptDecide, PublishesUnderContentionRepublishesOnThinBatches) {
+  const AdaptivePolicy p;
+  ContentionSignals s;
+  AdaptiveTuning cur;
+
+  // Sustained contention: stop fighting for the combiner lock.
+  s.fastpath_share = 0.3;  // contention 0.7 > publish threshold
+  cur.elect_spins = 1;
+  EXPECT_EQ(adapt_decide(p, s, cur, 1, 1).elect_spins, 0u);
+
+  // Recovery keys on achieved batch size (fastpath_share is 0 by
+  // construction at spins == 0): thin batches restore the TAS path...
+  cur.elect_spins = 0;
+  s.fastpath_share = 0.0;
+  s.ops_per_combine = 1.2;
+  EXPECT_EQ(adapt_decide(p, s, cur, 1, 1).elect_spins, 1u);
+  // ... while fat batches keep the publish-and-batch mode.
+  s.ops_per_combine = 3.0;
+  EXPECT_EQ(adapt_decide(p, s, cur, 1, 1).elect_spins, 0u);
+}
+
+TEST(AdaptDecide, ParkRatioSelectsTheWaitRung) {
+  const AdaptivePolicy p;
+  ContentionSignals s;
+  AdaptiveTuning cur;
+
+  s.park_ratio = 0.6;  // waiters lose the spin anyway: park early
+  EXPECT_EQ(adapt_decide(p, s, cur, 1, 1).yields_before_park, 1);
+
+  cur.yields_before_park = 1;
+  s.park_ratio = 0.01;  // almost nobody parks: full ladder back
+  EXPECT_EQ(adapt_decide(p, s, cur, 1, 1).yields_before_park,
+            kYieldsBeforePark);
+
+  s.park_ratio = 0.2;  // in the band: hold
+  EXPECT_EQ(adapt_decide(p, s, cur, 1, 1).yields_before_park, 1);
+}
+
+// ---------------------------------------------------------------------------
+// The closed loop, end to end (deterministic direction)
+
+TEST(Adaptive, SoloCallerIsConcentratedOntoOneShard) {
+  // One thread on a 4-shard stack: every window observes
+  // fastpath_share == 1 with exactly one shard serving work, so the
+  // first tick must shrink the active mask to 1 — and later ticks must
+  // hold there (no oscillation). The mirror image of compose.adaptive's
+  // thread-ramp growth, in the direction a unit test can pin exactly.
+  Adaptive<ShardStack> adaptive;
+  ASSERT_TRUE(adaptive.enabled());
+  EXPECT_EQ(adaptive.tuning().active_shards, 4u);
+
+  NativeContext ctx(0);
+  constexpr std::uint64_t kOps = 3 * Adaptive<ShardStack>::kWindowOps;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    ASSERT_TRUE(adaptive.invoke(ctx, inc_req(i + 1, 0)).committed());
+  }
+
+  EXPECT_EQ(adaptive.tuning().active_shards, 1u);
+  EXPECT_EQ(adaptive.decisions(), 1u);  // shrink once, then hold
+  EXPECT_EQ(adaptive.last_change_ops(), Adaptive<ShardStack>::kWindowOps);
+  EXPECT_GE(adaptive.windows(), 2u);
+  EXPECT_DOUBLE_EQ(adaptive.signals().fastpath_share, 1.0);
+  // The knobs the signals gave no reason to touch stayed put.
+  EXPECT_EQ(adaptive.tuning().elect_spins, 1u);
+  EXPECT_EQ(adaptive.tuning().yields_before_park, kYieldsBeforePark);
+  // Every op committed on a live replica despite the mid-run remap.
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    total += adaptive.object().shard(s).object().peek();
+  }
+  EXPECT_EQ(total, kOps);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent equivalence
+
+TEST(Adaptive, ConcurrentHistoriesLinearizeAgainstCounterSpec) {
+  // 3 threads x 5 ops of mixed reads and fetch&incs through
+  // Adaptive<Combining>: every response must admit a linearization
+  // against CounterSpec — the wrapper may tune, never reorder. Trace
+  // sizes stay small: the checker is exponential in overlap.
+  constexpr int kThreads = 3;
+  constexpr std::uint64_t kOps = 5;
+
+  for (int round = 0; round < 10; ++round) {
+    Adaptive<CombStack> adaptive;
+    std::atomic<std::uint64_t> clock{0};
+    struct Recorded {
+      Response response = 0;
+      std::uint64_t invoke = 0;
+      std::uint64_t ret = 0;
+      std::int64_t op = 0;
+    };
+    std::array<std::array<Recorded, kOps>, kThreads> rec{};
+
+    (void)workload::run_threads(
+        kThreads, kOps, [&](NativeContext& ctx, std::uint64_t i) {
+          const auto tid = static_cast<std::size_t>(ctx.id());
+          const bool is_read = tid == 0 ? (i % 2 == 1) : (i % 4 != 3);
+          const std::uint64_t id =
+              (static_cast<std::uint64_t>(tid) << 40) | (i + 1);
+          const Request m =
+              is_read ? read_req(id, ctx.id()) : inc_req(id, ctx.id());
+          Recorded& r = rec[tid][i];
+          r.op = m.op;
+          r.invoke = clock.fetch_add(1, std::memory_order_acq_rel);
+          r.response = adaptive.invoke(ctx, m).response;
+          r.ret = clock.fetch_add(1, std::memory_order_acq_rel);
+        });
+
+    std::vector<ConcurrentOp> ops;
+    for (int t = 0; t < kThreads; ++t) {
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        const auto& r =
+            rec[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)];
+        ConcurrentOp op;
+        op.pid = static_cast<ProcessId>(t);
+        op.request = Request{(static_cast<std::uint64_t>(t) << 40) | (i + 1),
+                             static_cast<ProcessId>(t), r.op, 0};
+        op.response = r.response;
+        op.invoke = r.invoke;
+        op.ret = r.ret;
+        op.completed = true;
+        ops.push_back(op);
+      }
+    }
+    ASSERT_TRUE(linearizable<CounterSpec>(std::move(ops)))
+        << "round " << round;
+  }
+}
+
+TEST(Adaptive, WindowCrossingStormCommitsEveryTicketExactlyOnce) {
+  // 4 threads crossing many window boundaries: ticks, decisions, and
+  // knob publications all fire mid-run, and still every fetch&inc
+  // response (the OLD value — a unique ticket) is seen exactly once.
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kOps = 2048;
+  constexpr std::uint64_t kTotal = kThreads * kOps;
+
+  Adaptive<CombStack> adaptive;
+  std::vector<std::atomic<std::uint32_t>> seen(kTotal);
+  std::atomic<std::uint64_t> out_of_range{0};
+
+  (void)workload::run_threads(
+      kThreads, kOps, [&](NativeContext& ctx, std::uint64_t i) {
+        const std::uint64_t id =
+            (static_cast<std::uint64_t>(ctx.id()) << 40) | (i + 1);
+        const ModuleResult r = adaptive.invoke(ctx, inc_req(id, ctx.id()));
+        ASSERT_TRUE(r.committed());
+        if (r.response < 0 ||
+            r.response >= static_cast<Response>(kTotal)) {
+          out_of_range.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        seen[static_cast<std::size_t>(r.response)].fetch_add(
+            1, std::memory_order_relaxed);
+      });
+
+  EXPECT_EQ(out_of_range.load(), 0u);
+  for (std::uint64_t v = 0; v < kTotal; ++v) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(v)].load(), 1u) << "ticket " << v;
+  }
+  EXPECT_EQ(adaptive.object().object().peek(), kTotal);
+  // The storm crossed window boundaries, so the monitor demonstrably
+  // ran while the equivalence above held.
+  EXPECT_GE(adaptive.windows(), 1u);
+}
+
+}  // namespace
+}  // namespace scm

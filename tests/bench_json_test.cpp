@@ -245,7 +245,10 @@ TEST(ReportSchema, ContainsRequiredKeys) {
         // Placement + parking provenance (PR 9) — additive again:
         // which --topology policy ran, how many L3/NUMA domains the
         // host reported, and the compiled-in rung-3 wait mode.
-        "\"topology\"", "\"topology_domains\"", "\"wait_mode\""}) {
+        "\"topology\"", "\"topology_domains\"", "\"wait_mode\"",
+        // Whether Adaptive-wrapped scenarios ran with live actuators
+        // (--adaptive) — additive like everything above.
+        "\"adaptive\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   // Per scenario.
@@ -473,6 +476,45 @@ TEST(BenchCompare, UnreadableAndUnmatchedInputs) {
     std::ostringstream os2;
     EXPECT_EQ(run_compare(new_path, old_path, 0.25, os2), 0);
     EXPECT_NE(os2.str().find("missing"), std::string::npos);
+  }
+}
+
+TEST(BenchCompare, OneSidedScenariosAreNamedInExplicitWarnings) {
+  // Beyond the table rows, every one-sided scenario is called out in a
+  // post-table warning line BY NAME — a renamed or accidentally
+  // unregistered scenario must not vanish from the gate silently.
+  RunReport only_cached = native_report(100.0, 200.0);
+  only_cached.scenarios.pop_back();  // drop compose.async
+  const std::string cached_only =
+      write_temp("warn_cached_only.json", to_json(only_cached));
+  const std::string both =
+      write_temp("warn_both.json", to_json(native_report(100.0, 200.0)));
+
+  // NEW side has the extra scenario.
+  {
+    std::ostringstream os;
+    EXPECT_EQ(run_compare(cached_only, both, 0.25, os), 0);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("warning: 1 scenario(s) only in NEW report"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("compose.async"), std::string::npos) << out;
+  }
+  // OLD side has the extra scenario.
+  {
+    std::ostringstream os;
+    EXPECT_EQ(run_compare(both, cached_only, 0.25, os), 0);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("warning: 1 scenario(s) only in OLD report"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("compose.async"), std::string::npos) << out;
+  }
+  // Two-sided reports emit no warning at all.
+  {
+    std::ostringstream os;
+    EXPECT_EQ(run_compare(both, both, 0.25, os), 0);
+    EXPECT_EQ(os.str().find("warning:"), std::string::npos) << os.str();
   }
 }
 

@@ -9,9 +9,11 @@
 //    immediately instead of sleeping forever — stressed across many
 //    racing rounds in both modes;
 //  * telemetry: a wait that outlives the spin/yield ladder records
-//    parks > 0; an already-satisfied wait records nothing and issues
+//    parks > 0; an already-satisfied wait records one fast wake and
 //    zero futex syscalls (the fast-path purity half of the combining
-//    wrappers' contract); wake_all() against no waiter is free;
+//    wrappers' contract); park_ratio() is NaN-free and moves with the
+//    park/fast-wake mix; the rung-3 entry threshold is a runtime knob;
+//    wake_all() against no waiter is free;
 //  * wait_until()'s WaitPoint overload routes native contexts through
 //    parked_wait (sim contexts keep their ctx.await path — explorer
 //    parity is pinned by slot_protocol_explore_test's unchanged leaf
@@ -108,13 +110,74 @@ TYPED_TEST(ParkingModes, RacingWakerNeverStrandsTheWaiter) {
   SUCCEED();
 }
 
-// An already-true predicate never escalates: no parks, no syscalls.
-TYPED_TEST(ParkingModes, SatisfiedWaitRecordsNothing) {
+// An already-true predicate never escalates: no parks, no syscalls —
+// but the wait IS recorded as a fast wake, the denominator the
+// adaptive layer's park_ratio signal needs (a ratio over parks alone
+// cannot distinguish "nobody waits" from "every waiter parks").
+TYPED_TEST(ParkingModes, SatisfiedWaitRecordsAFastWakeAndNothingElse) {
   TypeParam wp;
   parked_wait(wp, [] { return true; });
   const ParkStats s = wp.stats();
   EXPECT_EQ(s.parks, 0u);
   EXPECT_EQ(s.futex_syscalls, 0u);
+  EXPECT_EQ(s.fast_wakes, 1u);
+  EXPECT_EQ(s.park_ratio(), 0.0);
+}
+
+// park_ratio() must be defined (0.0, not NaN) before any wait has
+// ever finished — the adaptive monitor reads it on its first window.
+TYPED_TEST(ParkingModes, ParkRatioIsZeroNotNaNWithNoHistory) {
+  TypeParam wp;
+  const ParkStats s = wp.stats();
+  EXPECT_EQ(s.parks, 0u);
+  EXPECT_EQ(s.fast_wakes, 0u);
+  EXPECT_EQ(s.park_ratio(), 0.0);
+}
+
+// Once a wait actually reaches rung 3, the ratio moves off zero; mixed
+// with fast wakes it stays a proper fraction of all finished waits.
+TYPED_TEST(ParkingModes, ParkRatioReflectsParkedVersusFastWaits) {
+  TypeParam wp;
+  std::atomic<bool> flag{false};
+  std::thread waiter(
+      [&] { parked_wait(wp, [&] { return flag.load(std::memory_order_acquire); }); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  flag.store(true, std::memory_order_release);
+  wp.wake_all();
+  waiter.join();
+  EXPECT_GT(wp.stats().park_ratio(), 0.0);
+
+  // Nine satisfied waits dilute the ratio below 1 but not to 0.
+  for (int i = 0; i < 9; ++i) parked_wait(wp, [] { return true; });
+  const ParkStats s = wp.stats();
+  EXPECT_GE(s.fast_wakes, 9u);
+  EXPECT_GT(s.park_ratio(), 0.0);
+  EXPECT_LT(s.park_ratio(), 1.0);
+}
+
+// The rung-3 entry threshold is a runtime knob (the adaptive layer's
+// wait actuator): negative values clamp to 0, and a threshold of 0
+// parks on the first ladder saturation — visible as parks where the
+// default rung would have spun through.
+TYPED_TEST(ParkingModes, YieldsBeforeParkIsARuntimeKnob) {
+  TypeParam wp;
+  EXPECT_EQ(wp.yields_before_park(), kYieldsBeforePark);
+  wp.set_yields_before_park(-5);
+  EXPECT_EQ(wp.yields_before_park(), 0);
+  wp.set_yields_before_park(1);
+  EXPECT_EQ(wp.yields_before_park(), 1);
+
+  // With the earliest rung, a briefly-false predicate is enough to
+  // force a park even though the default ladder would still be
+  // yielding.
+  std::atomic<bool> flag{false};
+  std::thread waiter(
+      [&] { parked_wait(wp, [&] { return flag.load(std::memory_order_acquire); }); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  flag.store(true, std::memory_order_release);
+  wp.wake_all();
+  waiter.join();
+  EXPECT_GT(wp.stats().parks, 0u);
 }
 
 // A wait that outlives the whole spin/yield ladder must reach rung 3:

@@ -8,6 +8,9 @@
 //    composed object the paper proves correct);
 //  * merged statistics equal the sum of the per-shard snapshots, for
 //    both pipeline stats and chain commit tallies;
+//  * the runtime active-shard mask: set_active_shards remaps routing
+//    and bumps the epoch, and shrinking drains retired shards'
+//    in-flight operations before returning;
 //  * Sharded composes: it is itself a ComposableModule, nests inside
 //    pipelines and inside another Sharded, and wraps
 //    StaticAbstractChain via per-shard constructor arguments;
@@ -16,9 +19,12 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -206,6 +212,84 @@ TEST(Sharded, InvokeNotifiesALoadTrackingPolicyOnCompletion) {
   (void)sharded.invoke_at(s, ctx, m);
   sharded.complete(s);
   EXPECT_EQ(sharded.policy().in_flight(s), 0);
+}
+
+TEST(Sharded, SetActiveShardsRemapsRoutingAndBumpsTheEpoch) {
+  // The active-mask actuator with a stateless policy: the published
+  // count IS the routing modulus, growing and shrinking both take
+  // effect on the next route, and each reconfiguration bumps the
+  // epoch exactly once.
+  Sharded<Pipeline<SinkModule>, 4, ByThread> sharded;
+  EXPECT_EQ(sharded.active_shards(), 4u);
+  EXPECT_EQ(sharded.active_epoch(), 0u);
+
+  NativeContext c6(6);
+  EXPECT_EQ(sharded.route(c6, keyed_req(1, 6, 0)), 2u);  // 6 mod 4
+
+  sharded.set_active_shards(2);
+  EXPECT_EQ(sharded.active_shards(), 2u);
+  EXPECT_EQ(sharded.active_epoch(), 1u);
+  EXPECT_EQ(sharded.route(c6, keyed_req(2, 6, 0)), 0u);  // 6 mod 2
+  // Routed operations keep running on the shrunken mask.
+  EXPECT_TRUE(sharded.invoke(c6, keyed_req(3, 6, 0)).committed());
+
+  sharded.set_active_shards(4);
+  EXPECT_EQ(sharded.active_shards(), 4u);
+  EXPECT_EQ(sharded.active_epoch(), 2u);
+  EXPECT_EQ(sharded.route(c6, keyed_req(4, 6, 0)), 2u);
+}
+
+TEST(Sharded, ShrinkDrainsInFlightOpsOnRetiredShards) {
+  // The drain regression: with a load-tracking policy,
+  // set_active_shards(n) publishes the smaller mask immediately (new
+  // arrivals stop routing to retired shards) but must NOT return
+  // while an operation routed earlier is still attributed to a
+  // retired shard — only complete() unblocks it.
+  Sharded<Pipeline<HopModule, SinkModule>, 4, ByLeastLoaded<4>> sharded;
+  NativeContext ctx(0);
+
+  // The attribution pattern, left open: route() increments in-flight,
+  // nobody completes. Least-loaded cycles through all four shards.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    (void)sharded.route(ctx, keyed_req(i + 1, 0, 0));
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    ASSERT_EQ(sharded.policy().in_flight(s), 1) << "shard " << s;
+  }
+
+  std::atomic<bool> returned{false};
+  std::thread reconfig([&] {
+    sharded.set_active_shards(2);
+    returned.store(true, std::memory_order_release);
+  });
+
+  // The mask is published before the drain finishes...
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(sharded.active_shards(), 2u);
+  // ... but the call is still parked on shards 2 and 3.
+  EXPECT_FALSE(returned.load(std::memory_order_acquire));
+
+  sharded.complete(3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(returned.load(std::memory_order_acquire));  // 2 still open
+
+  sharded.complete(2);
+  reconfig.join();
+  EXPECT_EQ(sharded.active_epoch(), 1u);
+
+  // The drain touched only retired shards; the survivors' in-flight
+  // attribution is intact.
+  EXPECT_EQ(sharded.policy().in_flight(0), 1);
+  EXPECT_EQ(sharded.policy().in_flight(1), 1);
+  sharded.complete(0);
+  sharded.complete(1);
+
+  // Post-shrink routing never leaves the active range.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::size_t s = sharded.route(ctx, keyed_req(100 + i, 0, 0));
+    EXPECT_LT(s, 2u);
+    sharded.complete(s);
+  }
 }
 
 TEST(Sharded, InvokeAtRunsOnTheNamedShardWithoutConsultingThePolicy) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """scm_lint — repo-specific static checks for the scm codebase.
 
-Three rules, all about invariants the C++ type system cannot state:
+Four rules, all about invariants the C++ type system cannot state:
 
 RULE 1: explicit memory orders (src/**).
   Every std::atomic load/store/RMW must name its std::memory_order.
@@ -40,6 +40,17 @@ RULE 3: cross-process futex words (src/shm/**).
   and its enclosing type must be covered by SCM_ASSERT_ADDRESS_FREE
   (types annotated `// scm-lint: process-local` are exempt — they
   never enter the segment).
+
+RULE 4: relaxed-only hot-path reads (src/core/adaptive.hpp).
+  Adaptive<Obj>::maybe_tick sits on EVERY operation's fast path; its
+  whole design contract is that the per-op cost is a handful of
+  relaxed loads and one relaxed fetch_add — no acquire fences, no
+  seq_cst. A stray acquire on x86 is free and invisible in benchmarks,
+  then becomes a real barrier on ARM. So every std::atomic `.load(`
+  in core/adaptive.hpp must name memory_order_relaxed. The one
+  intentional exception (the tick-lock exchange is acquire, but it is
+  an RMW, not a load) needs no escape; a genuinely-needed non-relaxed
+  load takes `// scm-lint: non-relaxed-ok` on its first line.
 
 Usage:
   tools/scm_lint.py [--root DIR] [--self-test]
@@ -202,6 +213,43 @@ def check_memory_orders(path: str, raw: str) -> list[Finding]:
                         f"(found {orders}); defaulted seq_cst hides the "
                         "protocol decision")
             )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RULE 4: relaxed-only hot-path reads (core/adaptive.hpp)
+
+ATOMIC_LOAD_RE = re.compile(r"\.load\s*\(")
+RELAXED_TOKEN_RE = re.compile(r"\bmemory_order_relaxed\b")
+NON_RELAXED_MARK = "scm-lint: non-relaxed-ok"
+
+
+def check_adaptive_hot_reads(path: str, raw: str) -> list[Finding]:
+    """Every std::atomic .load() in the adaptive hot path must be
+    memory_order_relaxed: maybe_tick runs on every operation, and the
+    combinator's zero-overhead claim dies the day someone sneaks an
+    acquire in (silently free on x86, a real fence on ARM)."""
+    text = strip_comments(raw)
+    raw_lines = raw.splitlines()
+    findings = []
+    for m in ATOMIC_LOAD_RE.finditer(text):
+        extracted = balanced_args(text, m.end() - 1)
+        if extracted is None:
+            continue
+        args, _ = extracted
+        line = line_of(text, m.start())
+        if NON_RELAXED_MARK in raw_lines[line - 1]:
+            continue
+        if CTX_FIRST_ARG_RE.match(first_toplevel_arg(args)):
+            continue  # platform primitive, not std::atomic
+        if not RELAXED_TOKEN_RE.search(args):
+            findings.append(
+                Finding(path, line, "adaptive-relaxed",
+                        ".load() in the adaptive hot path must be "
+                        "memory_order_relaxed (maybe_tick runs on every "
+                        "operation; acquire here is a per-op fence on "
+                        "weakly-ordered targets) — or annotate "
+                        f"'// {NON_RELAXED_MARK}'"))
     return findings
 
 
@@ -409,12 +457,15 @@ def run_lint(src_root: str) -> list[Finding]:
         strip_comments(open(p, encoding="utf-8").read()) for p in paths)
     findings: list[Finding] = []
     shm_prefix = os.path.join(src_root, "shm") + os.sep
+    adaptive_suffix = os.path.join("core", "adaptive.hpp")
     for p in paths:
         raw = open(p, encoding="utf-8").read()
         findings.extend(check_memory_orders(p, raw))
         if p.startswith(shm_prefix):
             findings.extend(check_shm_layout(p, raw, macro_corpus))
             findings.extend(check_shm_futex(p, raw, macro_corpus))
+        if p.endswith(adaptive_suffix):
+            findings.extend(check_adaptive_hot_reads(p, raw))
     return findings
 
 
@@ -518,6 +569,32 @@ SELF_TESTS = [
               "  void f() { futex_waiters_.wake_all(); }\n"
               "};\n"
               "SCM_ASSERT_ADDRESS_FREE(S);", 0),
+    ("acquire load in adaptive hot path flagged",
+     "adaptive",
+     "void f() { n_ = op_count_.load(std::memory_order_acquire); }", 1),
+    ("defaulted (seq_cst) load in adaptive hot path flagged",
+     "adaptive", "void f() { n_ = op_count_.load(); }", 1),
+    ("relaxed load in adaptive hot path passes",
+     "adaptive",
+     "void f() { n_ = op_count_.load(std::memory_order_relaxed); }", 0),
+    ("multi-line relaxed load in adaptive hot path passes",
+     "adaptive",
+     "void f() {\n  n_ = op_count_.load(\n"
+     "      std::memory_order_relaxed);\n}", 0),
+    ("adaptive escape hatch honored",
+     "adaptive",
+     "void f() { n_ = epoch_.load(std::memory_order_acquire); }"
+     "  // scm-lint: non-relaxed-ok", 0),
+    ("relaxed token in comment does not satisfy adaptive rule",
+     "adaptive",
+     "void f() { n_ = op_count_.load(/* std::memory_order_relaxed */); }",
+     1),
+    ("platform primitive load (ctx first arg) skipped by adaptive rule",
+     "adaptive", "void f() { v = reg_.load(ctx); }", 0),
+    ("acquire exchange is an RMW, not a load — adaptive rule ignores it",
+     "adaptive",
+     "void f() { taken = lock_.exchange(true, std::memory_order_acquire); }",
+     0),
 ]
 
 
@@ -526,6 +603,8 @@ def self_test() -> int:
     for name, rule, snippet, expected in SELF_TESTS:
         if rule == "order":
             got = check_memory_orders("<self-test>", snippet)
+        elif rule == "adaptive":
+            got = check_adaptive_hot_reads("<self-test>", snippet)
         elif rule == "futex":
             got = check_shm_futex("<self-test>", snippet,
                                   strip_comments(snippet))
